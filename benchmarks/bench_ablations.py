@@ -1,0 +1,122 @@
+"""Ablations of the design choices DESIGN.md section 6 calls out.
+
+Each ablation flips one engine decision the paper identifies as important
+and measures the effect on a representative UNSAT miter:
+
+* ``jnode_learned`` — the paper: "if we did not treat the learned gates as
+  J-nodes, then the performance would degrade significantly";
+* ``explicit_learn_limit`` — aborting each sub-problem after 10 learned
+  gates vs solving each sub-problem completely vs a limit of 1;
+* the average-back-jump restart rule on/off;
+* miter reduction style ("or" vs the paper's literal "and" description).
+"""
+
+import pytest
+
+from repro import CircuitSolver, Limits, preset
+from repro.bench.harness import default_budget, render_table
+from repro.gen.iscas import circuit_by_name, equiv_miter
+from repro.circuit.miter import miter_identical
+
+
+def _run(circuit, options):
+    solver = CircuitSolver(circuit, options)
+    result = solver.solve(limits=Limits(max_seconds=default_budget()))
+    return result
+
+
+def _cell(result):
+    if result.status == "UNKNOWN":
+        return "*"
+    return "{:.2f}s/{}c".format(result.time_seconds, result.stats.conflicts)
+
+
+@pytest.mark.table("ablation")
+def test_learned_gates_as_jnodes(benchmark, report_path):
+    """Learned gates in the J-frontier: on (paper) vs off."""
+    m = equiv_miter("c3540")
+
+    def run():
+        on = _run(m, preset("implicit"))
+        off = _run(m, preset("implicit", jnode_learned=False))
+        return on, off
+
+    on, off = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        "Ablation: learned gates as J-nodes (c3540.equiv, implicit)",
+        ["variant", "result"],
+        [["jnode_learned=True (paper)", _cell(on)],
+         ["jnode_learned=False", _cell(off)]])
+    print("\n" + text)
+    with open(report_path, "a") as fh:
+        fh.write("\n" + text + "\n")
+    assert on.status == "UNSAT"
+
+
+@pytest.mark.table("ablation")
+def test_subproblem_learn_limit(benchmark, report_path):
+    """Abort each explicit sub-problem after N learned gates (paper: 10)."""
+    m = equiv_miter("c5315")
+
+    def run():
+        results = {}
+        for label, limit in (("limit=1", 1), ("limit=10 (paper)", 10),
+                             ("complete", None)):
+            results[label] = _run(m, preset("explicit",
+                                            explicit_learn_limit=limit))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        "Ablation: explicit-learning sub-problem abort limit (c5315.equiv)",
+        ["variant", "result"],
+        [[label, _cell(r)] for label, r in results.items()])
+    print("\n" + text)
+    with open(report_path, "a") as fh:
+        fh.write("\n" + text + "\n")
+    for r in results.values():
+        assert r.status in ("UNSAT", "UNKNOWN")
+
+
+@pytest.mark.table("ablation")
+def test_restart_rule(benchmark, report_path):
+    """The paper's average-back-jump restart rule on vs off."""
+    m = equiv_miter("c7552")
+
+    def run():
+        on = _run(m, preset("implicit"))
+        off = _run(m, preset("implicit", restart_enabled=False))
+        return on, off
+
+    on, off = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        "Ablation: average-back-jump restart rule (c7552.equiv, implicit)",
+        ["variant", "result"],
+        [["restarts on (paper)", _cell(on)], ["restarts off", _cell(off)]])
+    print("\n" + text)
+    with open(report_path, "a") as fh:
+        fh.write("\n" + text + "\n")
+
+
+@pytest.mark.table("ablation")
+def test_miter_reduction_style(benchmark, report_path):
+    """OR-reduction (standard miter) vs the paper's literal AND wording."""
+    base = circuit_by_name("c3540")
+
+    def run():
+        or_m = miter_identical(base, style="or")
+        and_m = miter_identical(base, style="and")
+        return (_run(or_m, preset("explicit")),
+                _run(and_m, preset("explicit")))
+
+    or_r, and_r = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        "Ablation: miter reduction style (c3540, explicit)",
+        ["variant", "result"],
+        [["OR reduction (standard)", _cell(or_r)],
+         ["AND reduction (paper's wording)", _cell(and_r)]])
+    print("\n" + text)
+    with open(report_path, "a") as fh:
+        fh.write("\n" + text + "\n")
+    assert or_r.status == "UNSAT"
+    assert and_r.status in ("UNSAT", "UNKNOWN")

@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the performance-critical substrates.
+
+Unlike the table benches (one-shot experiments), these use
+pytest-benchmark's statistical timing on small repeatable kernels:
+
+* gate-level BCP throughput (the engine's inner loop),
+* CNF watched-literal propagation,
+* word-parallel random simulation,
+* correlation-class refinement,
+* miter construction and Tseitin encoding.
+"""
+
+import random
+
+import pytest
+
+from repro import CnfSolver, Limits, tseitin
+from repro.csat.engine import CSatEngine
+from repro.csat.options import SolverOptions
+from repro.gen.iscas import circuit_by_name, equiv_miter
+from repro.sim.bitsim import random_input_words, simulate_words
+from repro.sim.correlation import find_correlations
+from repro.circuit.miter import miter_identical
+
+
+@pytest.fixture(scope="module")
+def mult_miter():
+    return equiv_miter("c6288")
+
+
+def test_simulation_throughput(benchmark, mult_miter):
+    """64 patterns through ~1.7k gates per call."""
+    rng = random.Random(7)
+    words = random_input_words(mult_miter, rng, 64)
+    benchmark(simulate_words, mult_miter, words, 64)
+
+
+def test_correlation_discovery(benchmark, mult_miter):
+    benchmark(find_correlations, mult_miter, seed=3)
+
+
+def test_circuit_bcp_throughput(benchmark, mult_miter):
+    """Propagation-heavy partial search: a fixed 200-conflict probe."""
+    def probe():
+        engine = CSatEngine(mult_miter, SolverOptions())
+        return engine.solve(assumptions=list(mult_miter.outputs),
+                            limits=Limits(max_conflicts=200))
+
+    result = benchmark.pedantic(probe, rounds=3, iterations=1)
+    assert result.stats.propagations > 0
+
+
+def test_cnf_bcp_throughput(benchmark, mult_miter):
+    formula, _ = tseitin(mult_miter, objectives=list(mult_miter.outputs))
+
+    def probe():
+        return CnfSolver(formula).solve(limits=Limits(max_conflicts=200))
+
+    result = benchmark.pedantic(probe, rounds=3, iterations=1)
+    assert result.stats.propagations > 0
+
+
+def test_miter_construction(benchmark):
+    base = circuit_by_name("c3540")
+    benchmark(miter_identical, base)
+
+
+def test_tseitin_encoding(benchmark, mult_miter):
+    benchmark(tseitin, mult_miter, objectives=list(mult_miter.outputs))

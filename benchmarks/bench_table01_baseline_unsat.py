@@ -1,0 +1,21 @@
+"""Table I reproduction: baseline solvers on UNSAT equivalence miters (no correlation learning).
+
+ZChaff-architecture CNF CDCL vs plain C-SAT vs C-SAT-Jnode on the
+identical-copy miters; the paper's point is that the circuit
+representation alone buys nothing.
+
+Run with ``pytest benchmarks/bench_table01_*.py --benchmark-only``.
+The rendered table and shape checks land in benchmarks/results/tables.txt.
+"""
+
+import pytest
+
+from repro.bench import table1
+
+from conftest import record_table
+
+
+@pytest.mark.table("table1")
+def test_table1(benchmark, report_path):
+    result = benchmark.pedantic(table1, rounds=1, iterations=1)
+    record_table(result, report_path)

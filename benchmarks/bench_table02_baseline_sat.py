@@ -1,0 +1,19 @@
+"""Table II reproduction: baseline solvers on satisfiable VLIW-style cases.
+
+Same three solvers on the mixed circuit+CNF satisfiable stand-ins.
+
+Run with ``pytest benchmarks/bench_table02_*.py --benchmark-only``.
+The rendered table and shape checks land in benchmarks/results/tables.txt.
+"""
+
+import pytest
+
+from repro.bench import table2
+
+from conftest import record_table
+
+
+@pytest.mark.table("table2")
+def test_table2(benchmark, report_path):
+    result = benchmark.pedantic(table2, rounds=1, iterations=1)
+    record_table(result, report_path)

@@ -1,0 +1,21 @@
+"""Table III reproduction: implicit learning on UNSAT miters.
+
+Correlation-guided decision grouping (Algorithm IV.1); the paper
+reports >5x on .equiv and >10x on .opt miters, with negligible
+simulation time.
+
+Run with ``pytest benchmarks/bench_table03_*.py --benchmark-only``.
+The rendered table and shape checks land in benchmarks/results/tables.txt.
+"""
+
+import pytest
+
+from repro.bench import table3
+
+from conftest import record_table
+
+
+@pytest.mark.table("table3")
+def test_table3(benchmark, report_path):
+    result = benchmark.pedantic(table3, rounds=1, iterations=1)
+    record_table(result, report_path)

@@ -1,0 +1,19 @@
+"""Table IV reproduction: implicit learning on satisfiable cases.
+
+The gain shrinks to ~2x on SAT cases (paper Table IV).
+
+Run with ``pytest benchmarks/bench_table04_*.py --benchmark-only``.
+The rendered table and shape checks land in benchmarks/results/tables.txt.
+"""
+
+import pytest
+
+from repro.bench import table4
+
+from conftest import record_table
+
+
+@pytest.mark.table("table4")
+def test_table4(benchmark, report_path):
+    result = benchmark.pedantic(table4, rounds=1, iterations=1)
+    record_table(result, report_path)

@@ -1,0 +1,21 @@
+"""Table V reproduction: explicit learning (pair / vs-0 / both) on UNSAT miters.
+
+The incremental learn-from-conflict headline: pair-correlations beat
+vs-0 correlations, both together beat each alone, and the multiplier
+miter (C6288 stand-in) is cracked while the baseline aborts.
+
+Run with ``pytest benchmarks/bench_table05_*.py --benchmark-only``.
+The rendered table and shape checks land in benchmarks/results/tables.txt.
+"""
+
+import pytest
+
+from repro.bench import table5
+
+from conftest import record_table
+
+
+@pytest.mark.table("table5")
+def test_table5(benchmark, report_path):
+    result = benchmark.pedantic(table5, rounds=1, iterations=1)
+    record_table(result, report_path)

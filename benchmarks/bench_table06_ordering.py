@@ -1,0 +1,20 @@
+"""Table VI reproduction: sub-problem ordering ablation.
+
+Topological order vs reverse vs random (paper Table VI: topological
+best, reverse worst, the multiplier only completes topologically).
+
+Run with ``pytest benchmarks/bench_table06_*.py --benchmark-only``.
+The rendered table and shape checks land in benchmarks/results/tables.txt.
+"""
+
+import pytest
+
+from repro.bench import table6
+
+from conftest import record_table
+
+
+@pytest.mark.table("table6")
+def test_table6(benchmark, report_path):
+    result = benchmark.pedantic(table6, rounds=1, iterations=1)
+    record_table(result, report_path)

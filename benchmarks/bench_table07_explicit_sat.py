@@ -1,0 +1,20 @@
+"""Table VII reproduction: explicit learning on satisfiable cases.
+
+On CNF-heavy SAT inputs the explicit strategy degrades to roughly
+baseline parity (paper Table VII).
+
+Run with ``pytest benchmarks/bench_table07_*.py --benchmark-only``.
+The rendered table and shape checks land in benchmarks/results/tables.txt.
+"""
+
+import pytest
+
+from repro.bench import table7
+
+from conftest import record_table
+
+
+@pytest.mark.table("table7")
+def test_table7(benchmark, report_path):
+    result = benchmark.pedantic(table7, rounds=1, iterations=1)
+    record_table(result, report_path)

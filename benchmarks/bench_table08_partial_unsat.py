@@ -1,0 +1,21 @@
+"""Table VIII reproduction: partial explicit learning sweep on UNSAT miters.
+
+Only the first p fraction (by topological position) of sub-problems
+is learned; the paper sees a clear more-learning-is-better trend and
+the multiplier failing below ~90%.
+
+Run with ``pytest benchmarks/bench_table08_*.py --benchmark-only``.
+The rendered table and shape checks land in benchmarks/results/tables.txt.
+"""
+
+import pytest
+
+from repro.bench import table8
+
+from conftest import record_table
+
+
+@pytest.mark.table("table8")
+def test_table8(benchmark, report_path):
+    result = benchmark.pedantic(table8, rounds=1, iterations=1)
+    record_table(result, report_path)

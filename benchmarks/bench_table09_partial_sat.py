@@ -1,0 +1,19 @@
+"""Table IX reproduction: partial explicit learning sweep on satisfiable cases.
+
+The UNSAT trend reverses / turns noisy on SAT cases (paper Table IX).
+
+Run with ``pytest benchmarks/bench_table09_*.py --benchmark-only``.
+The rendered table and shape checks land in benchmarks/results/tables.txt.
+"""
+
+import pytest
+
+from repro.bench import table9
+
+from conftest import record_table
+
+
+@pytest.mark.table("table9")
+def test_table9(benchmark, report_path):
+    result = benchmark.pedantic(table9, rounds=1, iterations=1)
+    record_table(result, report_path)

@@ -1,0 +1,20 @@
+"""Table X reproduction: additional SAT and UNSAT (scan-style) cases.
+
+Extra VLIW-style SAT rows plus shallow scan-style miters; learning
+still helps UNSAT but less than on deep combinational miters.
+
+Run with ``pytest benchmarks/bench_table10_*.py --benchmark-only``.
+The rendered table and shape checks land in benchmarks/results/tables.txt.
+"""
+
+import pytest
+
+from repro.bench import table10
+
+from conftest import record_table
+
+
+@pytest.mark.table("table10")
+def test_table10(benchmark, report_path):
+    result = benchmark.pedantic(table10, rounds=1, iterations=1)
+    record_table(result, report_path)

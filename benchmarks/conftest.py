@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_table*.py`` regenerates one of the paper's tables.  Rendered
+tables (plus shape-check outcomes) are appended to
+``benchmarks/results/tables.txt`` so a full ``pytest benchmarks/
+--benchmark-only`` run leaves the complete paper reproduction on disk.
+
+Environment knobs:
+
+``REPRO_BENCH_BUDGET``  per-solver-run wall budget in seconds (default 20).
+``REPRO_BENCH_STRICT``  set to 1 to fail benches whose shape checks fail
+                        (default: only the answer-consistency check fails a
+                        bench; shape checks are reported).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report_path():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "tables.txt"
+    # Start each session's report fresh.
+    if not getattr(report_path, "_initialized", False):
+        path.write_text("")
+        report_path._initialized = True
+    return path
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers",
+                            "table(name): paper-table reproduction bench")
+
+
+def record_table(result, report_path):
+    """Append a rendered TableResult to the session report and stdout."""
+    block = "\n{}\n".format(result)
+    with open(report_path, "a") as fh:
+        fh.write(block + "\n")
+    print(block)
+    strict = os.environ.get("REPRO_BENCH_STRICT", "0") == "1"
+    # The answer-consistency check must always hold; shape checks only
+    # gate the bench in strict mode.
+    consistency = result.checks[0]
+    assert consistency.passed, str(consistency)
+    if strict:
+        failed = [str(c) for c in result.checks if not c.passed]
+        assert not failed, "\n".join(failed)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Regenerate every table of the paper in one go (without pytest).
+
+Usage::
+
+    python benchmarks/run_all.py [--budget SECONDS] [--tables table1,table5]
+
+Writes the rendered tables plus shape-check outcomes to stdout and to
+``benchmarks/results/tables.txt``.  This is the script that produced the
+numbers recorded in EXPERIMENTS.md.
+"""
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.bench import ALL_TABLES
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=float, default=None,
+                        help="per-solver-run wall budget in seconds "
+                             "(default: REPRO_BENCH_BUDGET or 20)")
+    parser.add_argument("--tables", type=str, default=None,
+                        help="comma-separated subset, e.g. table1,table5")
+    args = parser.parse_args(argv)
+
+    selected = list(ALL_TABLES)
+    if args.tables:
+        selected = [t.strip() for t in args.tables.split(",")]
+        unknown = [t for t in selected if t not in ALL_TABLES]
+        if unknown:
+            parser.error("unknown table(s): {}".format(", ".join(unknown)))
+
+    out_dir = pathlib.Path(__file__).parent / "results"
+    out_dir.mkdir(exist_ok=True)
+    out_path = out_dir / "tables.txt"
+    blocks = []
+    failed_checks = 0
+    for name in selected:
+        start = time.perf_counter()
+        result = ALL_TABLES[name](args.budget)
+        elapsed = time.perf_counter() - start
+        block = "{}\n\n[experiment wall time: {:.1f}s]".format(result, elapsed)
+        blocks.append(block)
+        print(block)
+        print()
+        failed_checks += sum(1 for c in result.checks if not c.passed)
+    out_path.write_text("\n\n".join(blocks) + "\n")
+    print("wrote {}".format(out_path))
+    print("{} shape check(s) failed".format(failed_checks))
+    return 1 if failed_checks else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

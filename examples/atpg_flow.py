@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""SAT-based ATPG: back to the roots of circuit SAT.
+
+The paper's reference [5] is Larrabee's "Test Pattern Generation Using
+Boolean Satisfiability", and its J-node decision rule is ATPG's
+justification frontier.  This example runs the classic ATPG flow on a
+generated ALU using the correlation-guided solver as the test generator:
+
+1. enumerate all single stuck-at faults,
+2. knock most of them down with random patterns (fault simulation),
+3. target each survivor with a SAT call on its fault miter,
+4. prove the rest untestable (redundant logic).
+
+Run:  python examples/atpg_flow.py
+"""
+
+from repro.atpg import full_fault_list, generate_tests
+from repro.csat.options import preset
+from repro.gen.alu import alu
+
+
+def main() -> None:
+    circuit = alu(4)
+    print("circuit: {}".format(circuit))
+    faults = full_fault_list(circuit)
+    print("fault universe: {} single stuck-at faults".format(len(faults)))
+
+    result = generate_tests(circuit, faults,
+                            options=preset("implicit"),
+                            random_patterns=64, seed=7)
+
+    print("\n" + result.summary())
+    print("\nfirst few generated vectors:")
+    for pattern in result.patterns[:5]:
+        print("   {}  detects {:3d} fault(s)".format(
+            pattern.as_bits(circuit), len(pattern.detects)))
+    if result.untestable:
+        print("\nproven-untestable (redundant) faults:")
+        for fault in result.untestable[:5]:
+            print("   {}".format(fault.describe(circuit)))
+    print("\nEvery solver answer here is the same machinery as the "
+          "equivalence-checking flow:\nthe fault miter is just a miter, and "
+          "UNSAT means the fault cannot change any output.")
+
+
+if __name__ == "__main__":
+    main()

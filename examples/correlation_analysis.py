@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Inside the learning pipeline: signal correlations and sub-problems.
+
+This example exposes what the solver facade does internally (paper
+Sections III and V):
+
+1. word-parallel random simulation partitions the miter's signals into
+   candidate equivalence classes (refined by hashing, stopping after four
+   unproductive rounds);
+2. classes become pair and vs-constant correlations;
+3. correlations become the topologically ordered sequence of
+   likely-unsatisfiable sub-problems that explicit learning solves.
+
+Run:  python examples/correlation_analysis.py
+"""
+
+from collections import Counter
+
+from repro import SolverOptions, find_correlations
+from repro.csat.explicit import build_subproblems, order_subproblems
+from repro.gen.iscas import circuit_by_name
+from repro.circuit.miter import miter
+from repro.circuit.rewrite import optimize
+
+
+def main() -> None:
+    base = circuit_by_name("c3540")
+    m = miter(base, optimize(base, seed=7))
+    print("instance: {} ({} gates, depth {})\n".format(
+        m.name, m.num_ands, m.max_level))
+
+    # --- correlation discovery -----------------------------------------
+    correlations = find_correlations(m, seed=1)
+    print("random simulation: {} rounds, {} patterns".format(
+        correlations.rounds, correlations.patterns_simulated))
+    sizes = Counter(len(cls) for cls in correlations.classes)
+    print("candidate classes: {} (size histogram: {})".format(
+        len(correlations.classes), dict(sorted(sizes.items()))))
+
+    pairs = correlations.pair_correlations()
+    consts = correlations.constant_correlations()
+    anti = sum(1 for _, _, a in pairs if a)
+    print("pair correlations: {} ({} anti-equivalences)".format(
+        len(pairs), anti))
+    print("constant correlations: {}".format(len(consts)))
+    for node, value in consts[:5]:
+        print("   node {:5d} is probably constant {}".format(node, value))
+
+    # --- sub-problem generation ----------------------------------------
+    options = SolverOptions(explicit_learning=True)
+    subs = order_subproblems(build_subproblems(correlations, options),
+                             options, m.num_nodes)
+    print("\nexplicit-learning sub-problems: {} (topological order)"
+          .format(len(subs)))
+    for sub in subs[:5]:
+        desc = " & ".join("node{} = {}".format(lit >> 1, 1 - (lit & 1))
+                          for lit in sub.assumptions)
+        print("   [{}] {:24s} (position {})".format(sub.kind, desc, sub.key))
+    print("   ...")
+
+    # --- the partial-learning boundary (paper Table VIII) ---------------
+    for fraction in (0.1, 0.5, 1.0):
+        options = SolverOptions(explicit_learning=True,
+                                explicit_fraction=fraction)
+        kept = order_subproblems(build_subproblems(correlations, options),
+                                 options, m.num_nodes)
+        print("fraction {:.0%}: {} sub-problems".format(fraction, len(kept)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Equivalence checking with correlation-guided learning (paper Section V).
+
+The paper's flagship workload: prove a circuit equivalent to an optimized
+version of itself.  This example builds an array multiplier (the C6288
+shape that CNF solvers famously choke on), produces a restructured copy
+with the rewriter, and compares four solver configurations on the miter:
+
+* the ZChaff-architecture CNF baseline (circuit Tseitin-encoded),
+* C-SAT-Jnode (circuit CDCL, no correlation learning),
+* + implicit learning (Algorithm IV.1),
+* + explicit learning (incremental learn-from-conflict).
+
+Run:  python examples/equivalence_checking.py [width]
+"""
+
+import sys
+import time
+
+from repro import (CircuitSolver, CnfSolver, Limits, miter, preset, tseitin)
+from repro.circuit.rewrite import optimize
+from repro.gen.arith import array_multiplier
+
+BUDGET_SECONDS = 60.0
+
+
+def run_cnf_baseline(m):
+    formula, _ = tseitin(m, objectives=list(m.outputs))
+    start = time.perf_counter()
+    result = CnfSolver(formula).solve(limits=Limits(max_seconds=BUDGET_SECONDS))
+    return result, time.perf_counter() - start
+
+
+def run_circuit(m, preset_name):
+    solver = CircuitSolver(m, preset(preset_name))
+    start = time.perf_counter()
+    result = solver.solve(limits=Limits(max_seconds=BUDGET_SECONDS))
+    return result, time.perf_counter() - start, solver
+
+
+def main() -> None:
+    width = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    original = array_multiplier(width)
+    optimized = optimize(original, seed=42)
+    print("original : {}".format(original))
+    print("optimized: {}".format(optimized))
+
+    m = miter(original, optimized)
+    print("miter    : {} (UNSAT = equivalent)\n".format(m))
+
+    result, seconds = run_cnf_baseline(m)
+    print("{:22s} {:8s} {:8.2f}s  conflicts={}".format(
+        "CNF baseline (ZChaff)", result.status, seconds,
+        result.stats.conflicts))
+
+    for name in ("csat-jnode", "implicit", "explicit"):
+        result, seconds, solver = run_circuit(m, name)
+        line = "{:22s} {:8s} {:8.2f}s  conflicts={}".format(
+            name, result.status, seconds, result.stats.conflicts)
+        if result.sim_seconds:
+            line += "  sim={:.3f}s".format(result.sim_seconds)
+        if solver.explicit_report:
+            line += "  subproblems={} (refuted {})".format(
+                solver.explicit_report.subproblems_run,
+                solver.explicit_report.subproblems_unsat)
+        print(line)
+
+    print("\nThe explicit strategy proves internal signal pairs equivalent "
+          "cone by cone,\nfollowing topological order, so the final miter "
+          "proof is nearly free —\nthe paper's 'incremental "
+          "learn-from-conflict' in action.")
+
+
+if __name__ == "__main__":
+    main()

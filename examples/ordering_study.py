@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Why topological order matters (paper Section V-A, Table VI).
+
+The incremental learn-from-conflict strategy solves its pre-selected
+sub-problems following the circuit's topological order, so that everything
+learned about shallower cones is in place before deeper cones are probed.
+This study disturbs that order (reverse / random) and sweeps the *amount*
+of explicit learning (paper Table VIII) on one equivalence miter.
+
+Run:  python examples/ordering_study.py [circuit]   (default: c3540)
+"""
+
+import sys
+import time
+
+from repro import CircuitSolver, Limits, preset
+from repro.gen.iscas import equiv_miter
+
+BUDGET_SECONDS = 60.0
+
+
+def run(m, options):
+    solver = CircuitSolver(m, options)
+    start = time.perf_counter()
+    result = solver.solve(limits=Limits(max_seconds=BUDGET_SECONDS))
+    elapsed = time.perf_counter() - start
+    cell = "aborted" if result.status == "UNKNOWN" else \
+        "{:6.2f}s  {:6d} conflicts".format(elapsed, result.stats.conflicts)
+    return result, cell
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "c3540"
+    m = equiv_miter(name)
+    print("instance: {} ({} gates)\n".format(m.name, m.num_ands))
+
+    print("sub-problem ordering (paper Table VI):")
+    for order in ("topological", "reverse", "random"):
+        _, cell = run(m, preset("explicit", explicit_order=order))
+        print("   {:12s} {}".format(order, cell))
+
+    print("\namount of explicit learning (paper Table VIII):")
+    for fraction in (0.1, 0.3, 0.5, 0.7, 0.9, 1.0):
+        _, cell = run(m, preset("explicit", explicit_fraction=fraction))
+        print("   first {:>4.0%}   {}".format(fraction, cell))
+
+    print("\nExpected shape: topological < random < reverse, and more "
+          "learning -> faster\n(up to noise on small instances).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — a circuit SAT solver with signal-correlation-guided learning.
+
+A from-scratch reproduction of Lu, Wang, Cheng and Huang, *A Circuit SAT
+Solver With Signal Correlation Guided Learning* (DATE 2003): a circuit-based
+CDCL solver (C-SAT) whose decision ordering is guided by signal correlations
+discovered through word-parallel random simulation, with both *implicit*
+(decision grouping) and *explicit* (incremental learn-from-conflict)
+learning strategies, plus a CNF CDCL baseline in the ZChaff architecture and
+all substrates (netlists, file formats, miters, workload generators) needed
+to regenerate the paper's experiments.
+
+Quickstart::
+
+    from repro import Circuit, CircuitSolver, preset
+
+    c = Circuit("demo")
+    a, b = c.add_input("a"), c.add_input("b")
+    c.add_output(c.xor_(a, b), "y")
+    result = CircuitSolver(c, preset("explicit")).solve()
+    print(result.status)          # "SAT"
+"""
+
+from .circuit import (Circuit, cnf_to_circuit, lit_node, lit_not, make_lit,
+                      miter, miter_identical, optimize, read_aiger,
+                      read_bench, tseitin, write_aiger, write_bench)
+from .cnf import CnfFormula, CnfSolver, read_dimacs, solve_formula, write_dimacs
+from .core import (CircuitSolver, SweepResult, check_equivalence, sat_sweep,
+                   solve_circuit)
+from .csat import CSatEngine, SolverOptions, preset
+from .errors import (CircuitError, ParseError, ReproError,
+                     ResourceLimitExceeded, SolverError)
+from .proof import ProofLog, check_drup
+from .result import Limits, SAT, SolverResult, SolverStats, UNKNOWN, UNSAT
+from .sim import (CorrelationSet, find_correlations, simulate_random,
+                  simulate_words, truth_tables)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit", "cnf_to_circuit", "lit_node", "lit_not", "make_lit",
+    "miter", "miter_identical", "optimize", "read_aiger", "read_bench",
+    "tseitin", "write_aiger", "write_bench",
+    "CnfFormula", "CnfSolver", "read_dimacs", "solve_formula", "write_dimacs",
+    "CircuitSolver", "check_equivalence", "solve_circuit",
+    "SweepResult", "sat_sweep",
+    "CSatEngine", "SolverOptions", "preset",
+    "CircuitError", "ParseError", "ReproError", "ResourceLimitExceeded",
+    "SolverError",
+    "ProofLog", "check_drup",
+    "Limits", "SAT", "SolverResult", "SolverStats", "UNKNOWN", "UNSAT",
+    "CorrelationSet", "find_correlations", "simulate_random",
+    "simulate_words", "truth_tables",
+    "__version__",
+]

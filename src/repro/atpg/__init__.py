@@ -1,0 +1,17 @@
+"""SAT-based ATPG: stuck-at faults, fault simulation, test generation.
+
+The paper's circuit-SAT lineage starts at ATPG (its reference [5] is
+Larrabee's "Test Pattern Generation Using Boolean Satisfiability" and its
+J-node machinery is ATPG's justification frontier); this package closes the
+loop by generating stuck-at tests with the correlation-guided solver.
+"""
+
+from .faults import Fault, full_fault_list, inject_fault
+from .faultsim import FaultSimulator, fault_simulate
+from .testgen import AtpgResult, TestPattern, fault_miter, generate_tests
+
+__all__ = [
+    "Fault", "full_fault_list", "inject_fault",
+    "FaultSimulator", "fault_simulate",
+    "AtpgResult", "TestPattern", "fault_miter", "generate_tests",
+]

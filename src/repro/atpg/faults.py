@@ -1,0 +1,84 @@
+"""Stuck-at fault model.
+
+The single-stuck-at model of the classic ATPG literature (Abramovici,
+Breuer, Friedman — the paper's reference [10]): a fault fixes one signal to
+a constant.  We model faults on node outputs (PIs and gates), which is the
+collapsed fault universe structural equivalence yields for AND-inverter
+netlists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..circuit.netlist import Circuit
+from ..errors import CircuitError
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A single stuck-at fault: ``node`` permanently at ``value``."""
+
+    node: int
+    value: int  # 0 or 1
+
+    def __post_init__(self):
+        if self.value not in (0, 1):
+            raise CircuitError("stuck-at value must be 0 or 1")
+
+    def describe(self, circuit: Optional[Circuit] = None) -> str:
+        label = "node{}".format(self.node)
+        if circuit is not None:
+            label = circuit.name_of(self.node) or label
+        return "{} stuck-at-{}".format(label, self.value)
+
+
+def full_fault_list(circuit: Circuit, include_inputs: bool = True,
+                    observable_only: bool = True) -> List[Fault]:
+    """Both stuck-at faults on every signal of the circuit.
+
+    With ``observable_only`` (default), signals outside every output cone
+    are skipped — faults there are trivially untestable.
+    """
+    if observable_only and circuit.outputs:
+        candidates = [n for n in circuit.cone(circuit.outputs) if n != 0]
+    else:
+        candidates = [n for n in circuit.nodes() if n != 0]
+    faults: List[Fault] = []
+    for n in candidates:
+        if circuit.is_input(n) and not include_inputs:
+            continue
+        faults.append(Fault(n, 0))
+        faults.append(Fault(n, 1))
+    return faults
+
+
+def inject_fault(circuit: Circuit, fault: Fault) -> Circuit:
+    """A copy of the circuit with the fault's signal tied to its constant.
+
+    Every *reader* of the faulty node sees the constant; the node's own
+    driver logic is preserved upstream (it simply becomes unobservable).
+    The returned circuit has the same inputs (names preserved) and outputs.
+    """
+    if fault.node <= 0 or fault.node >= circuit.num_nodes:
+        raise CircuitError("fault node {} out of range".format(fault.node))
+    faulty = Circuit(circuit.name + ".sa{}@{}".format(fault.value,
+                                                      fault.node),
+                     strash=False)
+    m: List[int] = [0] * circuit.num_nodes
+    for pi in circuit.inputs:
+        m[pi] = faulty.add_input(circuit.name_of(pi))
+    # The override must land before any reader is built: immediately for a
+    # faulted PI, right after the driver gate for a faulted gate output
+    # (the driver is kept, merely unobservable).
+    if circuit.is_input(fault.node):
+        m[fault.node] = fault.value  # literal 0 = FALSE, 1 = TRUE
+    for n in circuit.and_nodes():
+        f0, f1 = circuit.fanins(n)
+        built = faulty.add_raw_and(m[f0 >> 1] ^ (f0 & 1),
+                                   m[f1 >> 1] ^ (f1 & 1))
+        m[n] = fault.value if n == fault.node else built
+    for lit, name in zip(circuit.outputs, circuit.output_names):
+        faulty.add_output(m[lit >> 1] ^ (lit & 1), name)
+    return faulty

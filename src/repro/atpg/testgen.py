@@ -1,0 +1,168 @@
+"""SAT-based test pattern generation (Larrabee's formulation).
+
+The paper's reference [5] (Larrabee 1992) introduced solving ATPG as
+Boolean satisfiability; the paper's own J-node machinery descends from the
+same ATPG tradition.  Closing the loop, this module generates stuck-at
+tests with the correlation-guided circuit solver:
+
+* a *fault miter* compares the fault-free circuit against a copy with the
+  fault injected; any input making them differ is a test;
+* a SAT model is a test vector, UNSAT proves the fault untestable
+  (redundant logic);
+* generated tests are fault-simulated against the remaining fault list so
+  each solver call usually retires many faults (fault dropping).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..circuit.miter import miter
+from ..circuit.netlist import Circuit
+from ..core.solver import CircuitSolver
+from ..csat.options import SolverOptions
+from ..result import Limits, SAT, UNSAT
+from ..sim.bitsim import simulate_words
+from .faults import Fault, full_fault_list, inject_fault
+from .faultsim import FaultSimulator
+
+
+@dataclass
+class TestPattern:
+    """One generated test: input values plus the faults it detects."""
+
+    inputs: Dict[int, bool]             # PI node -> value
+    detects: List[Fault] = field(default_factory=list)
+
+    def as_bits(self, circuit: Circuit) -> str:
+        return "".join("1" if self.inputs.get(pi, False) else "0"
+                       for pi in circuit.inputs)
+
+
+@dataclass
+class AtpgResult:
+    """Outcome of :func:`generate_tests`."""
+
+    patterns: List[TestPattern] = field(default_factory=list)
+    detected: List[Fault] = field(default_factory=list)
+    untestable: List[Fault] = field(default_factory=list)
+    aborted: List[Fault] = field(default_factory=list)
+    solver_calls: int = 0
+    seconds: float = 0.0
+
+    @property
+    def total_faults(self) -> int:
+        return len(self.detected) + len(self.untestable) + len(self.aborted)
+
+    @property
+    def coverage(self) -> float:
+        """Detected / testable (the standard fault-coverage number)."""
+        testable = len(self.detected) + len(self.aborted)
+        if testable == 0:
+            return 1.0
+        return len(self.detected) / testable
+
+    def summary(self) -> str:
+        return ("faults={} detected={} untestable={} aborted={} "
+                "patterns={} solver_calls={} coverage={:.1%} ({:.2f}s)"
+                .format(self.total_faults, len(self.detected),
+                        len(self.untestable), len(self.aborted),
+                        len(self.patterns), self.solver_calls,
+                        self.coverage, self.seconds))
+
+
+def fault_miter(circuit: Circuit, fault: Fault) -> Circuit:
+    """The test-generation miter: fault-free vs faulted copy.
+
+    Satisfying its output = 1 means some primary output differs — the
+    definition of a test for the fault.
+    """
+    return miter(circuit, inject_fault(circuit, fault),
+                 name="{}.{}".format(circuit.name, fault.describe()))
+
+
+def generate_tests(circuit: Circuit,
+                   faults: Optional[Sequence[Fault]] = None,
+                   options: Optional[SolverOptions] = None,
+                   per_fault_limits: Optional[Limits] = None,
+                   random_patterns: int = 64,
+                   seed: int = 1) -> AtpgResult:
+    """Generate test patterns for a stuck-at fault list.
+
+    Phase 1 throws ``random_patterns`` random vectors at the fault list
+    (cheap detection, like any production ATPG); phase 2 targets each
+    surviving fault with the SAT solver, fault-simulating every generated
+    test against the remaining list (fault dropping).
+    """
+    start = time.perf_counter()
+    rng = random.Random(seed)
+    if faults is None:
+        faults = full_fault_list(circuit)
+    options = options or SolverOptions(implicit_learning=True)
+    result = AtpgResult()
+    remaining: List[Fault] = list(faults)
+    sim = FaultSimulator(circuit)
+
+    def run_patterns(input_words: List[int], width: int) -> None:
+        """Fault-simulate pattern words; record detections and drop faults."""
+        base_vals = simulate_words(circuit, input_words, width)
+        per_bit: Dict[int, TestPattern] = {}
+        still: List[Fault] = []
+        for fault in remaining:
+            word = sim.detects(fault, base_vals, width)
+            if word:
+                bit = (word & -word).bit_length() - 1
+                pattern = per_bit.get(bit)
+                if pattern is None:
+                    pattern = TestPattern(inputs={
+                        pi: bool((input_words[k] >> bit) & 1)
+                        for k, pi in enumerate(circuit.inputs)})
+                    per_bit[bit] = pattern
+                    result.patterns.append(pattern)
+                pattern.detects.append(fault)
+                result.detected.append(fault)
+            else:
+                still.append(fault)
+        remaining[:] = still
+
+    if random_patterns > 0 and circuit.num_inputs > 0:
+        width = min(64, max(1, random_patterns))
+        words = [rng.getrandbits(width) for _ in circuit.inputs]
+        run_patterns(words, width)
+
+    while remaining:
+        fault = remaining.pop(0)
+        m = fault_miter(circuit, fault)
+        solver = CircuitSolver(m, options)
+        result.solver_calls += 1
+        solved = solver.solve(limits=per_fault_limits)
+        if solved.status == UNSAT:
+            result.untestable.append(fault)
+            continue
+        if solved.status != SAT:
+            result.aborted.append(fault)
+            continue
+        # Map the miter's PI nodes back to the original circuit's PIs
+        # (same order by construction, different node ids).
+        inputs = {orig_pi: solved.model.get(miter_pi, False)
+                  for orig_pi, miter_pi in zip(circuit.inputs, m.inputs)}
+        pattern = TestPattern(inputs=inputs, detects=[fault])
+        result.patterns.append(pattern)
+        result.detected.append(fault)
+        # Fault-drop the remaining list with the new vector.
+        if remaining:
+            words = [int(inputs[pi]) for pi in circuit.inputs]
+            base_vals = simulate_words(circuit, words, 1)
+            still = []
+            for other in remaining:
+                if sim.detects(other, base_vals, 1):
+                    pattern.detects.append(other)
+                    result.detected.append(other)
+                else:
+                    still.append(other)
+            remaining = still
+    result.seconds = time.perf_counter() - start
+    return result

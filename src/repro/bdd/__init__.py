@@ -1,0 +1,5 @@
+"""A compact ROBDD engine, used as an independent verification oracle."""
+
+from .robdd import Bdd, BddManager, bdd_equivalent, circuit_to_bdds
+
+__all__ = ["Bdd", "BddManager", "bdd_equivalent", "circuit_to_bdds"]

@@ -1,0 +1,246 @@
+"""Reduced ordered binary decision diagrams (ROBDDs).
+
+A third, independent answer machine alongside exhaustive simulation and the
+SAT solvers: BDDs are canonical, so two circuits are equivalent iff their
+output BDDs are the *same node*.  The test suite uses this to cross-check
+the solvers on circuits too wide for exhaustive simulation; the API is also
+useful on its own (model counting, restriction).
+
+Classic Bryant construction: unique table + memoized ITE.  Variables are
+ordered by index (callers choose the order by how they map inputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.netlist import Circuit
+from ..errors import ReproError
+
+
+class BddManager:
+    """Shared unique/compute tables for one BDD space.
+
+    Nodes are integers: 0 = FALSE, 1 = TRUE; internal nodes index into the
+    ``var``/``low``/``high`` arrays.  Complement edges are not used — the
+    structure stays textbook-simple.
+    """
+
+    def __init__(self, num_vars: int, node_limit: int = 2_000_000):
+        self.num_vars = num_vars
+        self.node_limit = node_limit
+        # Node 0/1 are the terminals; var = num_vars sorts them last.
+        self.var: List[int] = [num_vars, num_vars]
+        self.low: List[int] = [0, 1]
+        self.high: List[int] = [0, 1]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+
+    @property
+    def false(self) -> int:
+        return 0
+
+    @property
+    def true(self) -> int:
+        return 1
+
+    def mk(self, var: int, low: int, high: int) -> int:
+        """The unique-table constructor (applies the reduction rules)."""
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is not None:
+            return node
+        if len(self.var) >= self.node_limit:
+            raise ReproError("BDD node limit ({}) exceeded"
+                             .format(self.node_limit))
+        node = len(self.var)
+        self.var.append(var)
+        self.low.append(low)
+        self.high.append(high)
+        self._unique[key] = node
+        return node
+
+    def variable(self, index: int) -> int:
+        """The BDD of input variable ``index``."""
+        if not 0 <= index < self.num_vars:
+            raise ReproError("variable index {} out of range".format(index))
+        return self.mk(index, 0, 1)
+
+    # ------------------------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: the universal connective."""
+        if f == 1:
+            return g
+        if f == 0:
+            return h
+        if g == h:
+            return g
+        if g == 1 and h == 0:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(self.var[f], self.var[g], self.var[h])
+        f0, f1 = self._cofactors(f, top)
+        g0, g1 = self._cofactors(g, top)
+        h0, h1 = self._cofactors(h, top)
+        result = self.mk(top, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, node: int, var: int) -> Tuple[int, int]:
+        if self.var[node] == var:
+            return self.low[node], self.high[node]
+        return node, node
+
+    def apply_and(self, f: int, g: int) -> int:
+        return self.ite(f, g, 0)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self.ite(f, 1, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.apply_not(g), g)
+
+    def apply_not(self, f: int) -> int:
+        return self.ite(f, 0, 1)
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self, node: int, assignment: List[bool]) -> bool:
+        """Follow the decision path for a full variable assignment."""
+        while node > 1:
+            node = self.high[node] if assignment[self.var[node]] \
+                else self.low[node]
+        return node == 1
+
+    def sat_count(self, node: int) -> int:
+        """Number of satisfying assignments over all ``num_vars`` inputs.
+
+        Recursive formulation with explicit level gaps: a node at variable
+        ``v`` reached from decision level ``level`` leaves ``v - level``
+        free variables above it.
+        """
+        memo2: Dict[Tuple[int, int], int] = {}
+
+        def paths(n: int, level: int) -> int:
+            """Satisfying assignments over variables level..num_vars-1."""
+            if n <= 1:
+                return n * (1 << (self.num_vars - level))
+            key = (n, level)
+            got = memo2.get(key)
+            if got is not None:
+                return got
+            var = self.var[n]
+            scale = 1 << (var - level)
+            total = scale * (paths(self.low[n], var + 1)
+                             + paths(self.high[n], var + 1))
+            memo2[key] = total
+            return total
+
+        return paths(node, 0)
+
+    def size(self, node: int) -> int:
+        """Number of distinct internal nodes reachable from ``node``."""
+        seen = set()
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n <= 1 or n in seen:
+                continue
+            seen.add(n)
+            stack.append(self.low[n])
+            stack.append(self.high[n])
+        return len(seen)
+
+
+@dataclass
+class Bdd:
+    """A function handle: a node in a manager."""
+
+    manager: BddManager
+    node: int
+
+    def __and__(self, other: "Bdd") -> "Bdd":
+        return Bdd(self.manager, self.manager.apply_and(self.node, other.node))
+
+    def __or__(self, other: "Bdd") -> "Bdd":
+        return Bdd(self.manager, self.manager.apply_or(self.node, other.node))
+
+    def __xor__(self, other: "Bdd") -> "Bdd":
+        return Bdd(self.manager, self.manager.apply_xor(self.node, other.node))
+
+    def __invert__(self) -> "Bdd":
+        return Bdd(self.manager, self.manager.apply_not(self.node))
+
+    @property
+    def is_false(self) -> bool:
+        return self.node == 0
+
+    @property
+    def is_true(self) -> bool:
+        return self.node == 1
+
+    def sat_count(self) -> int:
+        return self.manager.sat_count(self.node)
+
+
+def circuit_to_bdds(circuit: Circuit,
+                    manager: Optional[BddManager] = None,
+                    var_order: Optional[Dict[int, int]] = None
+                    ) -> Tuple[BddManager, List[int]]:
+    """Build the BDD of every primary output.
+
+    ``var_order`` maps PI node -> variable index (default: input order).
+    Returns the manager and one BDD node per output.
+    """
+    if manager is None:
+        manager = BddManager(circuit.num_inputs)
+    if var_order is None:
+        var_order = {pi: i for i, pi in enumerate(circuit.inputs)}
+    node_bdd: List[int] = [0] * circuit.num_nodes
+    for pi in circuit.inputs:
+        node_bdd[pi] = manager.variable(var_order[pi])
+    for n in circuit.and_nodes():
+        f0, f1 = circuit.fanins(n)
+        a = node_bdd[f0 >> 1]
+        if f0 & 1:
+            a = manager.apply_not(a)
+        b = node_bdd[f1 >> 1]
+        if f1 & 1:
+            b = manager.apply_not(b)
+        node_bdd[n] = manager.apply_and(a, b)
+    outputs = []
+    for lit in circuit.outputs:
+        out = node_bdd[lit >> 1]
+        if lit & 1:
+            out = manager.apply_not(out)
+        outputs.append(out)
+    return manager, outputs
+
+
+def bdd_equivalent(left: Circuit, right: Circuit) -> bool:
+    """Canonical equivalence check: same inputs (by name where available),
+    outputs pairwise identical BDD nodes."""
+    if left.num_inputs != right.num_inputs \
+            or left.num_outputs != right.num_outputs:
+        return False
+    manager = BddManager(left.num_inputs)
+    left_order = {pi: i for i, pi in enumerate(left.inputs)}
+    left_names = [left.name_of(pi) for pi in left.inputs]
+    right_names = [right.name_of(pi) for pi in right.inputs]
+    if all(left_names) and all(right_names) \
+            and set(left_names) == set(right_names):
+        index_of = {nm: i for i, nm in enumerate(left_names)}
+        right_order = {pi: index_of[right.name_of(pi)]
+                       for pi in right.inputs}
+    else:
+        right_order = {pi: i for i, pi in enumerate(right.inputs)}
+    _, left_outs = circuit_to_bdds(left, manager, left_order)
+    _, right_outs = circuit_to_bdds(right, manager, right_order)
+    return left_outs == right_outs

@@ -1,0 +1,22 @@
+"""Benchmark harness: instances, runners, and the paper's Tables I-X."""
+
+from .harness import (RunRecord, ShapeCheck, default_budget, render_table,
+                      run_csat, run_zchaff_baseline, speedup)
+from .instances import (ADDITIONAL_UNSAT_INSTANCES, C6288_EQUIV,
+                        EQUIV_INSTANCES, Instance, OPT_INSTANCES,
+                        VLIW_EXTRA_INSTANCES, VLIW_INSTANCES, all_instances,
+                        instance_by_name)
+from .tables import (ALL_TABLES, TableResult, run_all, table1, table2,
+                     table3, table4, table5, table6, table7, table8, table9,
+                     table10)
+
+__all__ = [
+    "RunRecord", "ShapeCheck", "default_budget", "render_table", "run_csat",
+    "run_zchaff_baseline", "speedup",
+    "Instance", "all_instances", "instance_by_name",
+    "EQUIV_INSTANCES", "OPT_INSTANCES", "C6288_EQUIV", "VLIW_INSTANCES",
+    "VLIW_EXTRA_INSTANCES", "ADDITIONAL_UNSAT_INSTANCES",
+    "ALL_TABLES", "TableResult", "run_all",
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+    "table8", "table9", "table10",
+]

@@ -1,0 +1,109 @@
+"""The benchmark instance catalog: every row of the paper's Tables I-X.
+
+Instance names follow the paper (``c3540.equiv``, ``c5315.opt``,
+``9vliw004``, ``s38417.scan.equiv``); the circuits behind them are the
+scaled stand-ins of :mod:`repro.gen` (see DESIGN.md section 4 for the
+substitution rationale).  Builders are deterministic, so every benchmark
+run sees identical instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..circuit.netlist import Circuit
+from ..errors import ReproError
+from ..gen.iscas import equiv_miter, opt_miter
+from ..gen.scan import scan_equiv_miter
+from ..gen.velev import vliw_like
+from ..result import SAT, UNSAT
+
+
+@dataclass(frozen=True)
+class Instance:
+    """A named benchmark instance with its expected answer."""
+
+    name: str
+    family: str     # "equiv" | "opt" | "vliw" | "scan"
+    expected: str   # SAT or UNSAT
+    builder: Callable[[], Circuit]
+
+    def build(self) -> Circuit:
+        circuit = self.builder()
+        circuit.name = self.name
+        return circuit
+
+
+def _equiv(name: str) -> Instance:
+    return Instance(name + ".equiv", "equiv", UNSAT,
+                    lambda name=name: equiv_miter(name))
+
+
+def _opt(name: str, seed: int = 0) -> Instance:
+    return Instance(name + ".opt", "opt", UNSAT,
+                    lambda name=name, seed=seed: opt_miter(name, seed=seed))
+
+
+def _vliw(index: int, width: int = 7) -> Instance:
+    return Instance("9vliw{:03d}".format(index), "vliw", SAT,
+                    lambda index=index, width=width: vliw_like(index,
+                                                               width=width))
+
+
+def _scan(name: str) -> Instance:
+    return Instance(name + ".scan.equiv", "scan", UNSAT,
+                    lambda name=name: scan_equiv_miter(name))
+
+
+# The paper's instance groups, table by table. ------------------------
+
+#: Table I / III / V rows (without the C6288 special case).
+EQUIV_INSTANCES: List[Instance] = [
+    _equiv("c1355"), _equiv("c1908"), _equiv("c3540"),
+    _equiv("c5315"), _equiv("c7552"),
+]
+
+#: The multiplier headline case (aborts for everything but full explicit
+#: learning, both in the paper and here).
+C6288_EQUIV: Instance = _equiv("c6288")
+
+#: Table III / V ``circuit.opt`` rows.
+OPT_INSTANCES: List[Instance] = [
+    _opt("c3540"), _opt("c5315"), _opt("c7552"),
+]
+
+#: Tables II / IV / VII / IX satisfiable rows.
+VLIW_INSTANCES: List[Instance] = [
+    _vliw(1), _vliw(4), _vliw(5), _vliw(7), _vliw(8), _vliw(10),
+]
+
+#: Table X additional satisfiable rows.
+VLIW_EXTRA_INSTANCES: List[Instance] = [
+    _vliw(9), _vliw(17), _vliw(1), _vliw(24), _vliw(21), _vliw(15), _vliw(19),
+]
+
+#: Table X additional unsatisfiable rows.
+ADDITIONAL_UNSAT_INSTANCES: List[Instance] = [
+    _equiv("c2670"), _opt("c1908"),
+    _scan("s13207"), _scan("s15850"), _scan("s35932"),
+    _scan("s38417"), _scan("s38584"),
+]
+
+
+def all_instances() -> List[Instance]:
+    """Every catalogued instance, deduplicated by name."""
+    seen: Dict[str, Instance] = {}
+    for group in (EQUIV_INSTANCES, [C6288_EQUIV], OPT_INSTANCES,
+                  VLIW_INSTANCES, VLIW_EXTRA_INSTANCES,
+                  ADDITIONAL_UNSAT_INSTANCES):
+        for inst in group:
+            seen.setdefault(inst.name, inst)
+    return list(seen.values())
+
+
+def instance_by_name(name: str) -> Instance:
+    for inst in all_instances():
+        if inst.name == name:
+            return inst
+    raise ReproError("unknown benchmark instance {!r}".format(name))

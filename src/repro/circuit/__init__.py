@@ -1,0 +1,27 @@
+"""Circuit substrate: AND-inverter netlists, file I/O, conversions, miters."""
+
+from .netlist import (AND, CONST, FALSE, PI, TRUE, Circuit, lit_is_neg,
+                      lit_node, lit_not, lit_regular, lit_str, make_lit)
+from .aiger import read_aiger, write_aiger
+from .bench_io import read_bench, write_bench
+from .cnf_convert import cnf_to_circuit, tseitin
+from .miter import miter, miter_identical
+from .rewrite import optimize
+from .sequential import (FlipFlop, SequentialCircuit, bounded_model_check,
+                         read_bench_sequential)
+from .topo import (append_circuit, extract_cone, restrash, topological_order,
+                   transitive_fanout)
+from .validate import CircuitStatistics, ValidationReport, statistics, validate
+
+__all__ = [
+    "AND", "CONST", "FALSE", "PI", "TRUE", "Circuit",
+    "lit_is_neg", "lit_node", "lit_not", "lit_regular", "lit_str", "make_lit",
+    "read_aiger", "write_aiger",
+    "read_bench", "write_bench", "cnf_to_circuit", "tseitin",
+    "miter", "miter_identical", "optimize",
+    "append_circuit", "extract_cone", "restrash", "topological_order",
+    "transitive_fanout",
+    "FlipFlop", "SequentialCircuit", "bounded_model_check",
+    "read_bench_sequential",
+    "CircuitStatistics", "ValidationReport", "statistics", "validate",
+]

@@ -1,0 +1,218 @@
+"""AIGER (ASCII ``aag``) reader/writer.
+
+AIGER is the standard exchange format for AND-inverter graphs (Biere,
+FMV reports 07/1 and 11/2) and is exactly our netlist model: 2-input AND
+gates with inverter attributes, literal = ``2*variable + negation``.  The
+mapping to :class:`~repro.circuit.netlist.Circuit` is therefore nearly the
+identity, with one twist: AIGER variable indices need not be topologically
+ordered, so the reader elaborates AND definitions iteratively.
+
+Latches are supported both ways:
+
+* :func:`read_aiger` returns a :class:`~repro.circuit.sequential.SequentialCircuit`
+  when the file has latches, else a plain combinational circuit (set
+  ``as_sequential`` to force either);
+* :func:`write_aiger` accepts both kinds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import ParseError
+from .netlist import Circuit, FALSE
+from .sequential import FlipFlop, SequentialCircuit
+
+
+def read_aiger(source: Union[str, "TextIO"], name: str = "aiger",
+               as_sequential: Optional[bool] = None
+               ) -> Union[Circuit, SequentialCircuit]:
+    """Parse an ASCII AIGER (``aag``) file.
+
+    Returns a :class:`SequentialCircuit` when latches are present (or when
+    ``as_sequential=True``); a plain :class:`Circuit` otherwise.  Latch
+    reset values follow AIGER 1.9 (optional third field: 0, 1, or the latch
+    literal for "uninitialized" — mapped to reset 0 here).
+    """
+    text = source if isinstance(source, str) else source.read()
+    lines = [l for l in text.splitlines()]
+    if not lines:
+        raise ParseError("empty AIGER file")
+    header = lines[0].split()
+    if len(header) != 6 or header[0] != "aag":
+        raise ParseError("expected 'aag M I L O A' header, got {!r}"
+                         .format(lines[0]))
+    try:
+        max_var, n_in, n_latch, n_out, n_and = map(int, header[1:])
+    except ValueError:
+        raise ParseError("non-numeric AIGER header field")
+
+    body = lines[1:]
+    needed = n_in + n_latch + n_out + n_and
+    if len(body) < needed:
+        raise ParseError("AIGER body truncated: need {} lines, have {}"
+                         .format(needed, len(body)))
+
+    pos = 0
+
+    def take() -> str:
+        nonlocal pos
+        line = body[pos].strip()
+        pos += 1
+        return line
+
+    in_lits: List[int] = []
+    for _ in range(n_in):
+        lit = int(take())
+        if lit & 1 or lit == 0:
+            raise ParseError("input literal {} must be positive even"
+                             .format(lit))
+        in_lits.append(lit)
+
+    latch_rows: List[Tuple[int, int, int]] = []
+    for _ in range(n_latch):
+        parts = take().split()
+        if len(parts) not in (2, 3):
+            raise ParseError("latch line must be 'lit next [reset]'")
+        cur, nxt = int(parts[0]), int(parts[1])
+        reset = int(parts[2]) if len(parts) == 3 else 0
+        if cur & 1:
+            raise ParseError("latch literal {} must be even".format(cur))
+        if reset not in (0, 1):
+            reset = 0  # AIGER 1.9 "uninitialized": pick 0
+        latch_rows.append((cur, nxt, reset))
+
+    out_lits = [int(take()) for _ in range(n_out)]
+
+    and_rows: List[Tuple[int, int, int]] = []
+    for _ in range(n_and):
+        parts = take().split()
+        if len(parts) != 3:
+            raise ParseError("AND line must be 'lhs rhs0 rhs1'")
+        lhs, rhs0, rhs1 = map(int, parts)
+        if lhs & 1 or lhs == 0:
+            raise ParseError("AND lhs {} must be positive even".format(lhs))
+        and_rows.append((lhs, rhs0, rhs1))
+
+    # Symbol table (optional): iN / lN / oN names.
+    in_names: Dict[int, str] = {}
+    latch_names: Dict[int, str] = {}
+    out_names: Dict[int, str] = {}
+    while pos < len(body):
+        line = body[pos].strip()
+        pos += 1
+        if line == "c":
+            break  # comment section
+        if not line:
+            continue
+        kind, _, rest = line.partition(" ")
+        if len(kind) < 2 or kind[0] not in "ilo":
+            continue
+        try:
+            index = int(kind[1:])
+        except ValueError:
+            continue
+        {"i": in_names, "l": latch_names, "o": out_names}[kind[0]][index] = rest
+
+    circuit = Circuit(name, strash=False)
+    lit_map: Dict[int, int] = {0: FALSE}  # aiger literal -> our literal
+
+    def resolve(aig_lit: int) -> Optional[int]:
+        base = lit_map.get(aig_lit & ~1)
+        if base is None:
+            return None
+        return base ^ (aig_lit & 1)
+
+    for i, lit in enumerate(in_lits):
+        lit_map[lit] = circuit.add_input(in_names.get(i, "i{}".format(i)))
+    latch_state_lits = []
+    for i, (cur, _nxt, _reset) in enumerate(latch_rows):
+        our = circuit.add_input(latch_names.get(i, "l{}".format(i)))
+        lit_map[cur] = our
+        latch_state_lits.append(our)
+
+    pending = list(and_rows)
+    while pending:
+        remaining = []
+        progressed = False
+        for lhs, rhs0, rhs1 in pending:
+            a = resolve(rhs0)
+            b = resolve(rhs1)
+            if a is None or b is None:
+                remaining.append((lhs, rhs0, rhs1))
+                continue
+            lit_map[lhs] = circuit.add_raw_and(a, b)
+            progressed = True
+        if not progressed:
+            raise ParseError("cyclic or undefined AND literals in AIGER file")
+        pending = remaining
+
+    for i, lit in enumerate(out_lits):
+        our = resolve(lit)
+        if our is None:
+            raise ParseError("output references undefined literal {}"
+                             .format(lit))
+        circuit.add_output(our, out_names.get(i, "o{}".format(i)))
+
+    flops: List[FlipFlop] = []
+    for i, (cur, nxt, reset) in enumerate(latch_rows):
+        our_next = resolve(nxt)
+        if our_next is None:
+            raise ParseError("latch references undefined literal {}"
+                             .format(nxt))
+        flops.append(FlipFlop(state=latch_state_lits[i] >> 1,
+                              next_state=our_next, reset=reset,
+                              name=latch_names.get(i, "l{}".format(i))))
+
+    make_sequential = as_sequential if as_sequential is not None else bool(flops)
+    if make_sequential:
+        return SequentialCircuit(circuit, flops, name=name)
+    if flops:
+        raise ParseError("file has latches; pass as_sequential=True or None")
+    return circuit
+
+
+def write_aiger(circuit: Union[Circuit, SequentialCircuit]) -> str:
+    """Serialize to ASCII AIGER (``aag``), with a symbol table.
+
+    Our node ids map directly onto AIGER variables (node 0 = constant, so
+    variable indices coincide).  Sequential circuits emit their flip-flops
+    as latches.
+    """
+    if isinstance(circuit, SequentialCircuit):
+        core = circuit.core
+        flops = circuit.flops
+        name = circuit.name
+    else:
+        core = circuit
+        flops = []
+        name = circuit.name
+    flop_nodes = {ff.state for ff in flops}
+    true_inputs = [pi for pi in core.inputs if pi not in flop_nodes]
+
+    max_var = core.num_nodes - 1
+    lines = ["aag {} {} {} {} {}".format(max_var, len(true_inputs),
+                                         len(flops), core.num_outputs,
+                                         core.num_ands)]
+    for pi in true_inputs:
+        lines.append(str(2 * pi))
+    for ff in flops:
+        lines.append("{} {} {}".format(2 * ff.state, ff.next_state, ff.reset))
+    for lit in core.outputs:
+        lines.append(str(lit))
+    for n in core.and_nodes():
+        f0, f1 = core.fanins(n)
+        lines.append("{} {} {}".format(2 * n, f0, f1))
+    for i, pi in enumerate(true_inputs):
+        pi_name = core.name_of(pi)
+        if pi_name:
+            lines.append("i{} {}".format(i, pi_name))
+    for i, ff in enumerate(flops):
+        if ff.name:
+            lines.append("l{} {}".format(i, ff.name))
+    for i, oname in enumerate(core.output_names):
+        if oname:
+            lines.append("o{} {}".format(i, oname))
+    lines.append("c")
+    lines.append(name)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,203 @@
+"""Reader/writer for the ISCAS ``.bench`` netlist format.
+
+This is the circuit input format the paper assumes ("The input to the solver
+is assumed to be in a circuit format (such as the .bench format)").  The
+reader maps every gate onto the 2-input AND-with-inverter primitive of
+:class:`~repro.circuit.netlist.Circuit`.
+
+Supported gate types: ``AND``, ``NAND``, ``OR``, ``NOR``, ``XOR``, ``XNOR``,
+``NOT``, ``BUF``/``BUFF``, ``DFF``.  Multi-input gates are decomposed into
+balanced trees.  ``DFF`` gates are handled the way the paper's ``.scan``
+benchmarks treat state: the flip-flop output becomes a primary input and its
+data input becomes a primary output (full-scan assumption, Section VI).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, TextIO, Tuple, Union
+
+from ..errors import ParseError
+from .netlist import Circuit, lit_not
+
+_LINE_RE = re.compile(r"^\s*(?:#.*)?$")
+_IO_RE = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)\s*(?:#.*)?$",
+                    re.IGNORECASE)
+_GATE_RE = re.compile(
+    r"^\s*([^=\s]+)\s*=\s*([A-Za-z]+)\s*\(\s*([^)]*)\)\s*(?:#.*)?$")
+
+_SUPPORTED = {"AND", "NAND", "OR", "NOR", "XOR", "XNOR", "NOT", "BUF", "BUFF",
+              "DFF"}
+
+
+def read_bench(source: Union[str, TextIO], name: str = "bench",
+               strash: bool = False) -> Circuit:
+    """Parse a ``.bench`` netlist from a string or file object.
+
+    ``strash=False`` (the default) preserves the file's structure verbatim,
+    which matters when the structure itself is the experiment.
+    """
+    if isinstance(source, str):
+        lines = source.splitlines()
+    else:
+        lines = source.read().splitlines()
+
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: List[Tuple[int, str, str, List[str]]] = []
+    for no, line in enumerate(lines, 1):
+        if _LINE_RE.match(line):
+            continue
+        m = _IO_RE.match(line)
+        if m:
+            (inputs if m.group(1).upper() == "INPUT" else outputs).append(m.group(2))
+            continue
+        m = _GATE_RE.match(line)
+        if m:
+            out, op, args = m.group(1), m.group(2).upper(), m.group(3)
+            if op not in _SUPPORTED:
+                raise ParseError("unsupported gate type {!r}".format(op), no)
+            arg_names = [a.strip() for a in args.split(",") if a.strip()]
+            if not arg_names:
+                raise ParseError("gate {!r} has no inputs".format(out), no)
+            gates.append((no, out, op, arg_names))
+            continue
+        raise ParseError("unrecognised line {!r}".format(line.strip()), no)
+
+    circuit = Circuit(name, strash=strash)
+    lit_of: Dict[str, int] = {}
+    for pi in inputs:
+        if pi in lit_of:
+            raise ParseError("duplicate INPUT({})".format(pi))
+        lit_of[pi] = circuit.add_input(pi)
+
+    # DFF outputs become pseudo primary inputs (full-scan treatment).
+    dff_gates = []
+    for no, out, op, args in gates:
+        if op == "DFF":
+            if len(args) != 1:
+                raise ParseError("DFF must have exactly one input", no)
+            if out in lit_of:
+                raise ParseError("signal {!r} defined twice".format(out), no)
+            lit_of[out] = circuit.add_input(out)
+            dff_gates.append((out, args[0]))
+
+    # Iteratively elaborate combinational gates (files need not be in
+    # topological order).
+    pending = [(no, out, op, args) for no, out, op, args in gates if op != "DFF"]
+    while pending:
+        remaining = []
+        progressed = False
+        for no, out, op, args in pending:
+            if not all(a in lit_of for a in args):
+                remaining.append((no, out, op, args))
+                continue
+            lits = [lit_of[a] for a in args]
+            lit = _build_gate(circuit, op, lits, no)
+            if out in lit_of:
+                raise ParseError("signal {!r} defined twice".format(out), no)
+            lit_of[out] = lit
+            if not (lit & 1) and circuit.name_of(lit >> 1) is None:
+                circuit.set_name(lit >> 1, out)
+            progressed = True
+        if not progressed:
+            missing = sorted({a for _, _, _, args in remaining for a in args
+                              if a not in lit_of})
+            raise ParseError("undriven signal(s): {}".format(", ".join(missing[:5])))
+        pending = remaining
+
+    for po in outputs:
+        if po not in lit_of:
+            raise ParseError("OUTPUT({}) is never driven".format(po))
+        circuit.add_output(lit_of[po], po)
+    # Next-state functions become pseudo primary outputs.
+    for ff_out, d_input in dff_gates:
+        if d_input not in lit_of:
+            raise ParseError("DFF {!r} data input {!r} is never driven"
+                             .format(ff_out, d_input))
+        circuit.add_output(lit_of[d_input], ff_out + "_ns")
+    return circuit
+
+
+def _build_gate(circuit: Circuit, op: str, lits: List[int], line_no: int) -> int:
+    if op in ("NOT", "BUF", "BUFF"):
+        if len(lits) != 1:
+            raise ParseError("{} must have exactly one input".format(op), line_no)
+        return lit_not(lits[0]) if op == "NOT" else lits[0]
+    if op in ("AND", "NAND"):
+        out = circuit.and_many(lits)
+        return lit_not(out) if op == "NAND" else out
+    if op in ("OR", "NOR"):
+        out = circuit.or_many(lits)
+        return lit_not(out) if op == "NOR" else out
+    if op in ("XOR", "XNOR"):
+        out = circuit.xor_many(lits)
+        return lit_not(out) if op == "XNOR" else out
+    raise ParseError("unsupported gate type {!r}".format(op), line_no)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialize a circuit to ``.bench`` text (AND/NOT netlist).
+
+    Every AND node becomes one ``AND`` line; inverted fanins and inverted
+    outputs are expressed with ``NOT`` lines.  Reading the result back yields
+    a functionally identical circuit.
+    """
+    out: List[str] = ["# {}".format(circuit.name)]
+    sig: Dict[int, str] = {0: "const0_sig"}
+    uses_const = False
+
+    def node_sig(n: int) -> str:
+        existing = sig.get(n)
+        if existing is not None:
+            return existing
+        name = circuit.name_of(n) or "n{}".format(n)
+        sig[n] = name
+        return name
+
+    inv_emitted: Dict[int, str] = {}
+    body: List[str] = []
+
+    def lit_sig(lit: int) -> str:
+        nonlocal uses_const
+        n = lit >> 1
+        if n == 0:
+            uses_const = True
+        base = node_sig(n)
+        if not (lit & 1):
+            return base
+        inv = inv_emitted.get(n)
+        if inv is None:
+            inv = base + "_not"
+            inv_emitted[n] = inv
+            body.append("{} = NOT({})".format(inv, base))
+        return inv
+
+    for pi in circuit.inputs:
+        out.append("INPUT({})".format(node_sig(pi)))
+
+    po_lines = []
+    for i, (lit, name) in enumerate(zip(circuit.outputs, circuit.output_names)):
+        po_name = name or "po{}".format(i)
+        po_lines.append((po_name, lit))
+        out.append("OUTPUT({})".format(po_name))
+
+    for n in circuit.and_nodes():
+        f0, f1 = circuit.fanins(n)
+        body.append("{} = AND({}, {})".format(node_sig(n), lit_sig(f0),
+                                              lit_sig(f1)))
+    for po_name, lit in po_lines:
+        src = lit_sig(lit)
+        if src != po_name:
+            body.append("{} = BUF({})".format(po_name, src))
+    if uses_const:
+        # const0 = x AND NOT x over the first input (or a dummy input).
+        if circuit.inputs:
+            base = node_sig(circuit.inputs[0])
+        else:
+            out.insert(1, "INPUT(const_helper)")
+            base = "const_helper"
+        inv = inv_emitted.get(circuit.inputs[0] if circuit.inputs else -1)
+        body.insert(0, "const0_sig = AND({0}, {0}_not_h)".format(base))
+        body.insert(0, "{0}_not_h = NOT({0})".format(base))
+    return "\n".join(out + body) + "\n"

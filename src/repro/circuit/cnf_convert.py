@@ -1,0 +1,82 @@
+"""Conversions between circuits and CNF.
+
+Two directions, both used by the paper:
+
+* :func:`tseitin` — circuit to CNF (Larrabee-style three-clause encoding of
+  each AND gate).  This feeds circuit problems to the CNF baseline solver,
+  mirroring the traditional flow the paper argues against.
+* :func:`cnf_to_circuit` — CNF to a two-level OR-AND circuit ("From the
+  circuit point of view, a CNF formula is a 2-level OR-AND netlist with
+  inverters possibly associated with the circuit inputs").  This is how the
+  paper's circuit solver consumes CNF-formatted inputs, at the cost of losing
+  any original topological structure — the very effect Tables VII/IX measure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cnf.formula import CnfFormula
+from ..errors import CircuitError
+from .netlist import Circuit, lit_not
+
+
+def tseitin(circuit: Circuit,
+            objectives: Optional[Sequence[int]] = None) -> Tuple[CnfFormula, List[int]]:
+    """Encode a circuit (plus output objectives) as CNF.
+
+    Every node ``n`` maps to DIMACS variable ``n + 1``.  ``objectives`` is a
+    sequence of circuit literals asserted true via unit clauses; when omitted,
+    every primary output is asserted true (the usual circuit-SAT question).
+
+    Returns the formula and the node-to-variable map.
+    """
+    formula = CnfFormula(num_vars=circuit.num_nodes,
+                         name=circuit.name + ".cnf")
+    var_of = [n + 1 for n in range(circuit.num_nodes)]
+
+    def dlit(lit: int) -> int:
+        var = var_of[lit >> 1]
+        return -var if (lit & 1) else var
+
+    formula.add_clause([-var_of[0]])  # constant node is false
+    for n in circuit.and_nodes():
+        f0, f1 = circuit.fanins(n)
+        g, a, b = var_of[n], dlit(f0), dlit(f1)
+        formula.add_clause([-g, a])
+        formula.add_clause([-g, b])
+        formula.add_clause([g, -a, -b])
+    if objectives is None:
+        objectives = list(circuit.outputs)
+    for obj in objectives:
+        formula.add_clause([dlit(obj)])
+    return formula, var_of
+
+
+def cnf_to_circuit(formula: CnfFormula,
+                   name: Optional[str] = None) -> Tuple[Circuit, List[int]]:
+    """Build the two-level OR-AND circuit of a CNF formula.
+
+    Every CNF variable becomes a primary input; every clause becomes an OR
+    of (possibly inverted) inputs; the conjunction of all clause outputs is
+    the single primary output.  Clause ORs and the output conjunction are
+    balanced trees of the AND primitive.
+
+    Returns the circuit and a map ``lit_of_var`` with ``lit_of_var[v]`` the
+    input literal for variable ``v`` (index 0 unused).  The satisfiability
+    question is "primary output = 1".
+    """
+    circuit = Circuit(name or (formula.name + ".circuit"))
+    lit_of_var = [0] * (formula.num_vars + 1)
+    for v in range(1, formula.num_vars + 1):
+        lit_of_var[v] = circuit.add_input("x{}".format(v))
+
+    clause_lits: List[int] = []
+    for i, clause in enumerate(formula.clauses):
+        if not clause:
+            raise CircuitError("clause {} is empty (formula is UNSAT)".format(i))
+        ors = [lit_of_var[abs(l)] ^ (1 if l < 0 else 0) for l in clause]
+        clause_lits.append(circuit.or_many(ors))
+    top = circuit.and_many(clause_lits)
+    circuit.add_output(top, "sat")
+    return circuit, lit_of_var

@@ -1,0 +1,90 @@
+"""Equivalence-checking miter construction.
+
+The paper's unsatisfiable benchmarks (Section IV-B) are built like this: take
+two copies of a circuit over the same inputs, XOR each pair of corresponding
+primary outputs, and feed all XOR outputs into one reduction gate; the SAT
+question is whether that gate's output can be 1.
+
+Two reduction styles are provided:
+
+* ``"or"`` (default) — the standard miter: output is 1 iff *some* output pair
+  differs; unsatisfiable iff the circuits are equivalent.
+* ``"and"`` — the construction as literally described in the paper: output is
+  1 iff *every* output pair differs.  Also unsatisfiable for equivalent
+  circuits (any output pair that can never differ kills it).
+
+Both copies are inserted **without structural hashing** across them —
+otherwise two identical copies would merge node-for-node and the miter would
+collapse to constant 0, destroying the benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import CircuitError
+from .netlist import Circuit
+from .topo import append_circuit
+
+
+def miter(left: Circuit, right: Circuit, style: str = "or",
+          name: Optional[str] = None, match_by_name: bool = True) -> Circuit:
+    """Build the equivalence-checking miter of two circuits.
+
+    Inputs are matched by PI name when both sides are fully named and
+    ``match_by_name`` is true, otherwise by position.  Outputs are always
+    matched by position.  The result has a single primary output; the SAT
+    question "output = 1" is unsatisfiable iff the circuits agree on every
+    output (for ``style="or"``).
+    """
+    if left.num_inputs != right.num_inputs:
+        raise CircuitError("input count mismatch: {} vs {}".format(
+            left.num_inputs, right.num_inputs))
+    if left.num_outputs != right.num_outputs:
+        raise CircuitError("output count mismatch: {} vs {}".format(
+            left.num_outputs, right.num_outputs))
+    if style not in ("or", "and"):
+        raise CircuitError("unknown miter style {!r}".format(style))
+
+    out = Circuit(name or "miter({},{})".format(left.name, right.name))
+    left_names = [left.name_of(pi) for pi in left.inputs]
+    shared = {}
+    for pi, pi_name in zip(left.inputs, left_names):
+        lit = out.add_input(pi_name)
+        shared[pi_name] = lit
+    left_map = {pi: shared[nm] for pi, nm in zip(left.inputs, left_names)}
+
+    right_names = [right.name_of(pi) for pi in right.inputs]
+    use_names = (match_by_name and all(n is not None for n in left_names)
+                 and all(n is not None for n in right_names)
+                 and set(left_names) == set(right_names)
+                 and len(set(left_names)) == len(left_names))
+    if use_names:
+        right_map = {pi: shared[nm] for pi, nm in zip(right.inputs, right_names)}
+    else:
+        right_map = {pi: left_map[lpi]
+                     for pi, lpi in zip(right.inputs, left.inputs)}
+
+    lmap = append_circuit(out, left, left_map, raw=True)
+    rmap = append_circuit(out, right, right_map, raw=True)
+
+    diffs = []
+    for lo, ro in zip(left.outputs, right.outputs):
+        a = lmap[lo >> 1] ^ (lo & 1)
+        b = rmap[ro >> 1] ^ (ro & 1)
+        diffs.append(out.xor_(a, b))
+    top = out.or_many(diffs) if style == "or" else out.and_many(diffs)
+    out.add_output(top, "miter_out")
+    return out
+
+
+def miter_identical(circuit: Circuit, style: str = "or",
+                    name: Optional[str] = None) -> Circuit:
+    """Miter of a circuit against an identical second copy.
+
+    This reproduces the paper's ``circuit.equiv`` instances: always
+    unsatisfiable, and full of internal signal pairs that random simulation
+    identifies as equivalent.
+    """
+    return miter(circuit, circuit, style=style,
+                 name=name or (circuit.name + ".equiv"))

@@ -1,0 +1,444 @@
+"""AND-inverter netlist: the circuit representation used throughout the package.
+
+The paper's solver (Section IV-A) reads a gate-level circuit and rewrites it
+into a netlist built from a single primitive: the **2-input AND gate with
+inverter attributes on its fanins**.  This module implements that
+representation.
+
+Encoding conventions
+--------------------
+
+* Nodes are dense integer ids.  Node ``0`` is the constant-FALSE node.
+* A **literal** packs a node id and an inversion flag: ``lit = 2*node + neg``.
+  Literal ``0`` is constant FALSE and literal ``1`` is constant TRUE.
+* Gates may only reference already-created nodes, so *node id order is a
+  topological order*.  Many algorithms in this package rely on that invariant.
+
+The :class:`Circuit` builder performs constant folding, trivial-case
+simplification and structural hashing (strashing), so functionally obvious
+duplicates share one node.  Strashing can be disabled to preserve redundant
+structure (useful when reproducing a netlist exactly as written in a file).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import CircuitError
+
+# Node kinds.
+CONST = 0
+PI = 1
+AND = 2
+
+_KIND_NAMES = {CONST: "const", PI: "input", AND: "and"}
+
+# Literal constants.
+FALSE = 0
+TRUE = 1
+
+# Sentinel for "no fanin" (PIs and the constant node).
+NO_LIT = -1
+
+
+def make_lit(node: int, neg: bool = False) -> int:
+    """Pack a node id and an inversion flag into a literal."""
+    return 2 * node + (1 if neg else 0)
+
+
+def lit_node(lit: int) -> int:
+    """Node id of a literal."""
+    return lit >> 1
+
+
+def lit_is_neg(lit: int) -> bool:
+    """True if the literal is inverted."""
+    return bool(lit & 1)
+
+
+def lit_not(lit: int) -> int:
+    """Complement of a literal."""
+    return lit ^ 1
+
+
+def lit_regular(lit: int) -> int:
+    """The positive-phase literal of the same node."""
+    return lit & ~1
+
+
+def lit_str(lit: int) -> str:
+    """Human-readable form of a literal, e.g. ``~n5``."""
+    return ("~" if lit & 1 else "") + "n{}".format(lit >> 1)
+
+
+class Circuit:
+    """A combinational netlist of 2-input AND gates with inverter attributes.
+
+    Typical construction::
+
+        c = Circuit("adder")
+        a = c.add_input("a")
+        b = c.add_input("b")
+        cin = c.add_input("cin")
+        s = c.xor_(c.xor_(a, b), cin)
+        c.add_output(s, "sum")
+
+    All builder methods accept and return *literals*.
+    """
+
+    def __init__(self, name: str = "circuit", strash: bool = True):
+        self.name = name
+        # Parallel arrays indexed by node id.  Node 0 is constant FALSE.
+        self._kind: List[int] = [CONST]
+        self._fanin0: List[int] = [NO_LIT]
+        self._fanin1: List[int] = [NO_LIT]
+        self.inputs: List[int] = []  # node ids of primary inputs, in creation order
+        self.outputs: List[int] = []  # literals driving primary outputs
+        self.output_names: List[Optional[str]] = []
+        self._node_names: Dict[int, str] = {0: "const0"}
+        self._name_to_node: Dict[str, int] = {"const0": 0}
+        self._strash_enabled = strash
+        self._strash_table: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._kind)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count, including the constant node."""
+        return len(self._kind)
+
+    @property
+    def num_ands(self) -> int:
+        """Number of AND gates."""
+        return sum(1 for k in self._kind if k == AND)
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.outputs)
+
+    def kind(self, node: int) -> int:
+        """Kind of a node: ``CONST``, ``PI`` or ``AND``."""
+        return self._kind[node]
+
+    def is_input(self, node: int) -> bool:
+        return self._kind[node] == PI
+
+    def is_and(self, node: int) -> bool:
+        return self._kind[node] == AND
+
+    def is_const(self, node: int) -> bool:
+        return self._kind[node] == CONST
+
+    def fanin0(self, node: int) -> int:
+        """First fanin literal of an AND node."""
+        return self._fanin0[node]
+
+    def fanin1(self, node: int) -> int:
+        """Second fanin literal of an AND node."""
+        return self._fanin1[node]
+
+    def fanins(self, node: int) -> Tuple[int, int]:
+        """Both fanin literals of an AND node."""
+        return self._fanin0[node], self._fanin1[node]
+
+    def nodes(self) -> Iterator[int]:
+        """All node ids in topological (creation) order."""
+        return iter(range(len(self._kind)))
+
+    def and_nodes(self) -> Iterator[int]:
+        """All AND-gate node ids in topological order."""
+        kinds = self._kind
+        return (n for n in range(len(kinds)) if kinds[n] == AND)
+
+    # ------------------------------------------------------------------
+    # Names
+    # ------------------------------------------------------------------
+
+    def set_name(self, node: int, name: str) -> None:
+        """Attach a (unique) symbolic name to a node."""
+        old = self._name_to_node.get(name)
+        if old is not None and old != node:
+            raise CircuitError("duplicate node name {!r}".format(name))
+        self._node_names[node] = name
+        self._name_to_node[name] = node
+
+    def name_of(self, node: int) -> Optional[str]:
+        """Symbolic name of a node, or None."""
+        return self._node_names.get(node)
+
+    def node_by_name(self, name: str) -> Optional[int]:
+        """Node id for a symbolic name, or None."""
+        return self._name_to_node.get(name)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_input(self, name: Optional[str] = None) -> int:
+        """Create a primary input; returns its positive literal."""
+        node = len(self._kind)
+        self._kind.append(PI)
+        self._fanin0.append(NO_LIT)
+        self._fanin1.append(NO_LIT)
+        self.inputs.append(node)
+        if name is not None:
+            self.set_name(node, name)
+        return make_lit(node)
+
+    def _check_lit(self, lit: int) -> None:
+        if lit < 0 or (lit >> 1) >= len(self._kind):
+            raise CircuitError("literal {} references unknown node".format(lit))
+
+    def add_and(self, a: int, b: int) -> int:
+        """AND of two literals; returns the output literal.
+
+        Performs constant folding (``x & 0 = 0``, ``x & 1 = x``), trivial
+        simplification (``x & x = x``, ``x & ~x = 0``) and, when strashing is
+        enabled, reuses an existing structurally identical gate.
+        """
+        self._check_lit(a)
+        self._check_lit(b)
+        if a > b:
+            a, b = b, a
+        # Constant folding and trivial cases.  After sorting, any constant is a.
+        if a == FALSE:
+            return FALSE
+        if a == TRUE:
+            return b
+        if a == b:
+            return a
+        if a == (b ^ 1):
+            return FALSE
+        if self._strash_enabled:
+            node = self._strash_table.get((a, b))
+            if node is not None:
+                return make_lit(node)
+        node = len(self._kind)
+        self._kind.append(AND)
+        self._fanin0.append(a)
+        self._fanin1.append(b)
+        if self._strash_enabled:
+            self._strash_table[(a, b)] = node
+        return make_lit(node)
+
+    def add_raw_and(self, a: int, b: int) -> int:
+        """AND gate with no simplification or strashing at all.
+
+        Used by file readers and by the rewriter when redundant structure must
+        be preserved verbatim.
+        """
+        self._check_lit(a)
+        self._check_lit(b)
+        node = len(self._kind)
+        self._kind.append(AND)
+        self._fanin0.append(a)
+        self._fanin1.append(b)
+        return make_lit(node)
+
+    # Functional constructors built on AND + inverters. ----------------
+
+    def not_(self, a: int) -> int:
+        """Complement (free: flips the inverter attribute)."""
+        self._check_lit(a)
+        return a ^ 1
+
+    def or_(self, a: int, b: int) -> int:
+        """OR via De Morgan."""
+        return lit_not(self.add_and(lit_not(a), lit_not(b)))
+
+    def nand_(self, a: int, b: int) -> int:
+        return lit_not(self.add_and(a, b))
+
+    def nor_(self, a: int, b: int) -> int:
+        return lit_not(self.or_(a, b))
+
+    def xor_(self, a: int, b: int) -> int:
+        """XOR decomposed into three AND gates."""
+        return lit_not(self.add_and(lit_not(self.add_and(a, lit_not(b))),
+                                    lit_not(self.add_and(lit_not(a), b))))
+
+    def xnor_(self, a: int, b: int) -> int:
+        return lit_not(self.xor_(a, b))
+
+    def mux_(self, sel: int, then_lit: int, else_lit: int) -> int:
+        """2:1 multiplexer: ``sel ? then_lit : else_lit``."""
+        t = self.add_and(sel, then_lit)
+        e = self.add_and(lit_not(sel), else_lit)
+        return self.or_(t, e)
+
+    def and_many(self, lits: Sequence[int]) -> int:
+        """Balanced AND tree over a sequence of literals (empty -> TRUE)."""
+        return self._reduce_balanced(list(lits), self.add_and, TRUE)
+
+    def or_many(self, lits: Sequence[int]) -> int:
+        """Balanced OR tree over a sequence of literals (empty -> FALSE)."""
+        return self._reduce_balanced(list(lits), self.or_, FALSE)
+
+    def xor_many(self, lits: Sequence[int]) -> int:
+        """Balanced XOR tree over a sequence of literals (empty -> FALSE)."""
+        return self._reduce_balanced(list(lits), self.xor_, FALSE)
+
+    @staticmethod
+    def _reduce_balanced(lits, op, empty):
+        if not lits:
+            return empty
+        while len(lits) > 1:
+            nxt = [op(lits[i], lits[i + 1]) for i in range(0, len(lits) - 1, 2)]
+            if len(lits) % 2:
+                nxt.append(lits[-1])
+            lits = nxt
+        return lits[0]
+
+    def add_output(self, lit: int, name: Optional[str] = None) -> None:
+        """Declare a primary output driven by ``lit``."""
+        self._check_lit(lit)
+        self.outputs.append(lit)
+        self.output_names.append(name)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    def fanouts(self) -> List[List[int]]:
+        """Fanout adjacency: for each node, the AND nodes that read it."""
+        outs: List[List[int]] = [[] for _ in range(len(self._kind))]
+        f0, f1 = self._fanin0, self._fanin1
+        for n, k in enumerate(self._kind):
+            if k == AND:
+                outs[f0[n] >> 1].append(n)
+                g1 = f1[n] >> 1
+                if g1 != (f0[n] >> 1):
+                    outs[g1].append(n)
+        return outs
+
+    def levels(self) -> List[int]:
+        """Logic level of every node (PIs and constant are level 0)."""
+        lev = [0] * len(self._kind)
+        f0, f1 = self._fanin0, self._fanin1
+        for n, k in enumerate(self._kind):
+            if k == AND:
+                lev[n] = 1 + max(lev[f0[n] >> 1], lev[f1[n] >> 1])
+        return lev
+
+    @property
+    def max_level(self) -> int:
+        """Depth of the circuit."""
+        lev = self.levels()
+        if not self.outputs:
+            return max(lev, default=0)
+        return max((lev[o >> 1] for o in self.outputs), default=0)
+
+    def cone(self, roots: Iterable[int]) -> List[int]:
+        """Transitive fanin cone of the given *literals*.
+
+        Returns node ids sorted ascending (hence topologically).
+        """
+        seen = set()
+        stack = [r >> 1 for r in roots]
+        f0, f1, kinds = self._fanin0, self._fanin1, self._kind
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            if kinds[n] == AND:
+                stack.append(f0[n] >> 1)
+                stack.append(f1[n] >> 1)
+        return sorted(seen)
+
+    def evaluate(self, input_values: Dict[int, bool]) -> List[bool]:
+        """Evaluate the whole circuit for one input assignment.
+
+        ``input_values`` maps PI *node ids* to booleans.  Returns a list of
+        node values.  Intended for tests and tiny circuits; bulk simulation
+        lives in :mod:`repro.sim.bitsim`.
+        """
+        vals = [False] * len(self._kind)
+        for n in self.inputs:
+            try:
+                vals[n] = bool(input_values[n])
+            except KeyError:
+                raise CircuitError("missing value for input node {}".format(n))
+        f0, f1 = self._fanin0, self._fanin1
+        for n, k in enumerate(self._kind):
+            if k == AND:
+                a = vals[f0[n] >> 1] ^ bool(f0[n] & 1)
+                b = vals[f1[n] >> 1] ^ bool(f1[n] & 1)
+                vals[n] = a and b
+        return vals
+
+    def output_values(self, input_values: Dict[int, bool]) -> List[bool]:
+        """Evaluate and return the primary output values."""
+        vals = self.evaluate(input_values)
+        return [vals[o >> 1] ^ bool(o & 1) for o in self.outputs]
+
+    # ------------------------------------------------------------------
+    # Whole-circuit operations
+    # ------------------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "Circuit":
+        """Deep copy (shares nothing with the original)."""
+        c = Circuit(name or self.name, strash=self._strash_enabled)
+        c._kind = list(self._kind)
+        c._fanin0 = list(self._fanin0)
+        c._fanin1 = list(self._fanin1)
+        c.inputs = list(self.inputs)
+        c.outputs = list(self.outputs)
+        c.output_names = list(self.output_names)
+        c._node_names = dict(self._node_names)
+        c._name_to_node = dict(self._name_to_node)
+        c._strash_table = dict(self._strash_table)
+        return c
+
+    def check(self) -> None:
+        """Validate structural invariants; raises CircuitError on violation."""
+        n_nodes = len(self._kind)
+        if not (len(self._fanin0) == len(self._fanin1) == n_nodes):
+            raise CircuitError("fanin arrays out of sync with kind array")
+        if n_nodes == 0 or self._kind[0] != CONST:
+            raise CircuitError("node 0 must be the constant node")
+        for n in range(n_nodes):
+            k = self._kind[n]
+            if k == AND:
+                for f in (self._fanin0[n], self._fanin1[n]):
+                    if f < 0:
+                        raise CircuitError("AND node {} missing fanin".format(n))
+                    if (f >> 1) >= n:
+                        raise CircuitError(
+                            "node {} has non-topological fanin {}".format(n, f))
+            elif k in (PI, CONST):
+                if self._fanin0[n] != NO_LIT or self._fanin1[n] != NO_LIT:
+                    raise CircuitError(
+                        "{} node {} must not have fanins".format(_KIND_NAMES[k], n))
+            else:
+                raise CircuitError("node {} has unknown kind {}".format(n, k))
+        for i, node in enumerate(self.inputs):
+            if self._kind[node] != PI:
+                raise CircuitError("inputs[{}] = {} is not a PI".format(i, node))
+        for o in self.outputs:
+            if o < 0 or (o >> 1) >= n_nodes:
+                raise CircuitError("output literal {} out of range".format(o))
+
+    def stats(self) -> Dict[str, int]:
+        """Size summary used by reports and examples."""
+        return {
+            "nodes": self.num_nodes,
+            "inputs": self.num_inputs,
+            "ands": self.num_ands,
+            "outputs": self.num_outputs,
+            "levels": self.max_level,
+        }
+
+    def __repr__(self) -> str:
+        return ("Circuit({!r}: {} inputs, {} ands, {} outputs, depth {})"
+                .format(self.name, self.num_inputs, self.num_ands,
+                        self.num_outputs, self.max_level))

@@ -1,0 +1,175 @@
+"""Function-preserving logic restructuring (the "Design Compiler" stand-in).
+
+The paper's ``circuit.opt`` benchmarks miter a circuit against a version
+optimized by Synopsys Design Compiler: *functionally equivalent but
+structurally different*.  We reproduce that property with a randomized
+rewriting pass:
+
+* maximal single-fanout AND trees are collapsed and rebuilt with a randomly
+  chosen association order;
+* XNOR and MUX patterns are detected in the AND-inverter structure and
+  re-decomposed into their dual (OR-AND) forms;
+* the rebuilt circuit is structurally hashed, so sharing falls differently
+  than in the original.
+
+What the downstream experiments need from this pass is exactly what the
+paper needed from Design Compiler: trivial 1:1 structural matching between
+the two miter halves is destroyed, while real internal equivalences remain
+for random simulation to discover.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from .netlist import Circuit, lit_not
+from .topo import append_circuit
+
+# Probability of re-decomposing a detected XNOR/MUX pattern.
+_REDECOMPOSE_PROB = 0.7
+# Maximum leaves collected when collapsing an AND tree.
+_MAX_CONJ_LEAVES = 8
+
+
+def optimize(circuit: Circuit, seed: int = 0, rounds: int = 2,
+             name: Optional[str] = None) -> Circuit:
+    """Produce a functionally equivalent, structurally different circuit.
+
+    ``rounds`` rewriting passes are applied (each pass randomizes tree shapes
+    and re-decomposes recognized XNOR/MUX patterns), then dead logic is
+    pruned.  The result has the same primary inputs (same order, same names)
+    and outputs as the original.
+    """
+    rng = random.Random(seed)
+    current = circuit
+    for _ in range(max(1, rounds)):
+        current = _rewrite_once(current, rng)
+    return _prune(current, name or (circuit.name + ".opt"))
+
+
+def _rewrite_once(circuit: Circuit, rng: random.Random) -> Circuit:
+    out = Circuit(circuit.name, strash=True)
+    m: List[int] = [0] * circuit.num_nodes
+    for pi in circuit.inputs:
+        m[pi] = out.add_input(circuit.name_of(pi))
+
+    fanout_count = [0] * circuit.num_nodes
+    for n in circuit.and_nodes():
+        fanout_count[circuit.fanin0(n) >> 1] += 1
+        fanout_count[circuit.fanin1(n) >> 1] += 1
+    for o in circuit.outputs:
+        fanout_count[o >> 1] += 1
+
+    def mlit(lit: int) -> int:
+        return m[lit >> 1] ^ (lit & 1)
+
+    for n in circuit.and_nodes():
+        pattern = _match_xnor_mux(circuit, n, fanout_count)
+        if pattern is not None and rng.random() < _REDECOMPOSE_PROB:
+            kind, x, y, z = pattern
+            if kind == "xnor_neg":
+                # n = ~((p&q) | (~p&~q)) = XOR(p, q).  The matched children
+                # are the complementary-phase pair {p&q, ~p&~q}; rebuild
+                # from the mixed-phase pair instead:
+                # XOR(p,q) = ~( ~(p&~q) & ~(~p&q) ).
+                p, q = mlit(x), mlit(y)
+                m[n] = lit_not(out.add_and(
+                    lit_not(out.add_and(p, lit_not(q))),
+                    lit_not(out.add_and(lit_not(p), q))))
+            else:  # ~n = MUX(s,t,e); MUX rebuilt as (~s|t) & (s|e), then invert.
+                s, t, e = mlit(x), mlit(y), mlit(z)
+                m[n] = lit_not(out.add_and(out.or_(lit_not(s), t),
+                                           out.or_(s, e)))
+            continue
+        leaves = _collect_conj_leaves(circuit, n, fanout_count)
+        lits = [mlit(l) for l in leaves]
+        rng.shuffle(lits)
+        m[n] = _random_and_tree(out, lits, rng)
+
+    for lit, oname in zip(circuit.outputs, circuit.output_names):
+        out.add_output(mlit(lit), oname)
+    return out
+
+
+def _match_xnor_mux(circuit: Circuit, n: int, fanout_count: List[int]
+                    ) -> Optional[Tuple[str, int, int, int]]:
+    """Recognize XNOR / MUX rooted at AND node ``n``.
+
+    In AND-inverter form, ``n = AND(~A, ~B)`` with ``A = AND(a0, a1)`` and
+    ``B = AND(b0, b1)`` computes ``(a0&a1) | (b0&b1)`` when read through its
+    inverted output... here we match the positive function of ``n`` itself:
+    ``n = ~(a0&a1) & ~(b0&b1)``.  We detect the cases where the *complement*
+    of ``n`` is an XNOR or MUX — returned patterns describe ``~n``; callers
+    account for the inversion.  To keep the transformation size-neutral we
+    require both children to have a single fanout.
+    """
+    f0, f1 = circuit.fanins(n)
+    if not (f0 & 1) or not (f1 & 1):
+        return None
+    a_node, b_node = f0 >> 1, f1 >> 1
+    if not (circuit.is_and(a_node) and circuit.is_and(b_node)):
+        return None
+    if fanout_count[a_node] != 1 or fanout_count[b_node] != 1:
+        return None
+    a0, a1 = circuit.fanins(a_node)
+    b0, b1 = circuit.fanins(b_node)
+    # ~n = (a0&a1) | (b0&b1)
+    if {b0, b1} == {a0 ^ 1, a1 ^ 1}:
+        # ~n = (p&q) | (~p&~q) = XNOR(p, q); hence n = XOR(p, q) = ~XNOR.
+        return ("xnor_neg", a0, a1, 0)
+    for s, t in ((a0, a1), (a1, a0)):
+        for sn, e in ((b0, b1), (b1, b0)):
+            if sn == (s ^ 1):
+                # ~n = (s&t) | (~s&e) = MUX(s, t, e); n is its complement.
+                return ("mux_neg", s, t, e)
+    return None
+
+
+def _collect_conj_leaves(circuit: Circuit, n: int,
+                         fanout_count: List[int]) -> List[int]:
+    """Leaves of the maximal AND tree rooted at ``n``.
+
+    Expansion only crosses non-inverted edges into single-fanout AND nodes,
+    so shared logic stays shared and inverted boundaries stay intact.
+    """
+    leaves: List[int] = []
+    stack = [circuit.fanin0(n), circuit.fanin1(n)]
+    while stack:
+        lit = stack.pop()
+        node = lit >> 1
+        if (not (lit & 1) and circuit.is_and(node) and fanout_count[node] == 1
+                and len(leaves) + len(stack) < _MAX_CONJ_LEAVES):
+            stack.append(circuit.fanin0(node))
+            stack.append(circuit.fanin1(node))
+        else:
+            leaves.append(lit)
+    return leaves
+
+
+def _random_and_tree(out: Circuit, lits: List[int], rng: random.Random) -> int:
+    """Combine literals with AND gates in a random association order."""
+    work = list(lits)
+    while len(work) > 1:
+        i = rng.randrange(len(work))
+        a = work.pop(i)
+        j = rng.randrange(len(work))
+        b = work.pop(j)
+        work.append(out.add_and(a, b))
+    return work[0]
+
+
+def _prune(circuit: Circuit, name: str) -> Circuit:
+    """Drop dead gates while keeping *all* primary inputs (order preserved)."""
+    live = set(circuit.cone(circuit.outputs))
+    out = Circuit(name, strash=False)
+    m: List[int] = [0] * circuit.num_nodes
+    for pi in circuit.inputs:
+        m[pi] = out.add_input(circuit.name_of(pi))
+    for n in circuit.and_nodes():
+        if n in live:
+            f0, f1 = circuit.fanins(n)
+            m[n] = out.add_raw_and(m[f0 >> 1] ^ (f0 & 1), m[f1 >> 1] ^ (f1 & 1))
+    for lit, oname in zip(circuit.outputs, circuit.output_names):
+        out.add_output(m[lit >> 1] ^ (lit & 1), oname)
+    return out

@@ -1,0 +1,179 @@
+"""Sequential circuits: flip-flops, time-frame expansion, simple BMC.
+
+The paper closes with "for the future work, we will continue the
+development of our solver for handling sequential circuits directly", and
+its FRAME data structures (Section IV-A) exist for exactly this.  This
+module provides the substrate that future work needs:
+
+* :class:`SequentialCircuit` — combinational core plus flip-flop bindings
+  (state input node -> next-state literal, with reset values);
+* :func:`read_bench_sequential` — ``.bench`` reading that *keeps* DFF
+  structure instead of scanning it away;
+* :meth:`SequentialCircuit.unroll` — classical time-frame expansion into a
+  combinational circuit over k frames (Abramovici et al., the paper's
+  reference [10]);
+* :func:`bounded_model_check` — assert a property output over unrollings of
+  increasing depth with the correlation-guided solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import CircuitError
+from .netlist import Circuit, FALSE, TRUE
+from .topo import append_circuit
+
+
+@dataclass
+class FlipFlop:
+    """One D flip-flop: ``state`` is a PI node of the combinational core,
+    ``next_state`` a literal of the core, ``reset`` the initial value."""
+
+    state: int
+    next_state: int
+    reset: int = 0
+    name: Optional[str] = None
+
+
+class SequentialCircuit:
+    """A synchronous sequential circuit in next-state form.
+
+    The combinational ``core`` exposes every flip-flop's output as a PI
+    (the ``state`` node) and computes every flip-flop's input as a literal
+    (``next_state``); true primary inputs are the core PIs not bound to a
+    flip-flop.
+    """
+
+    def __init__(self, core: Circuit, flops: Sequence[FlipFlop],
+                 name: Optional[str] = None):
+        self.name = name or core.name
+        self.core = core
+        self.flops = list(flops)
+        bound = set()
+        for ff in self.flops:
+            if not core.is_input(ff.state):
+                raise CircuitError(
+                    "flop state node {} is not a core PI".format(ff.state))
+            if ff.state in bound:
+                raise CircuitError(
+                    "flop state node {} bound twice".format(ff.state))
+            if ff.reset not in (0, 1):
+                raise CircuitError("reset value must be 0 or 1")
+            bound.add(ff.state)
+        self.primary_inputs = [pi for pi in core.inputs if pi not in bound]
+
+    @property
+    def num_flops(self) -> int:
+        return len(self.flops)
+
+    def __repr__(self) -> str:
+        return ("SequentialCircuit({!r}: {} PIs, {} flops, {} gates)"
+                .format(self.name, len(self.primary_inputs), self.num_flops,
+                        self.core.num_ands))
+
+    # ------------------------------------------------------------------
+
+    def unroll(self, frames: int, initialize: bool = True,
+               name: Optional[str] = None) -> Tuple[Circuit, List[Dict[int, int]]]:
+        """Time-frame expansion over ``frames`` cycles.
+
+        Returns the combinational expansion plus one map per frame from
+        core node id to the literal implementing it in that frame.  With
+        ``initialize=True`` frame 0's state inputs are tied to the reset
+        values; otherwise they become free PIs (``<flop>@0``).  Core
+        primary outputs are re-emitted per frame as ``<name>@<frame>``.
+        """
+        if frames < 1:
+            raise CircuitError("frames must be >= 1")
+        out = Circuit(name or "{}.unroll{}".format(self.name, frames))
+        frame_maps: List[Dict[int, int]] = []
+        state_lits: Dict[int, int] = {}
+        if initialize:
+            for ff in self.flops:
+                state_lits[ff.state] = TRUE if ff.reset else FALSE
+        else:
+            for ff in self.flops:
+                label = ff.name or self.core.name_of(ff.state) or \
+                    "ff{}".format(ff.state)
+                state_lits[ff.state] = out.add_input("{}@0".format(label))
+
+        for frame in range(frames):
+            input_map: Dict[int, int] = {}
+            for pi in self.primary_inputs:
+                label = self.core.name_of(pi) or "pi{}".format(pi)
+                input_map[pi] = out.add_input("{}@{}".format(label, frame))
+            for ff in self.flops:
+                input_map[ff.state] = state_lits[ff.state]
+            m = append_circuit(out, self.core, input_map)
+            node_map = {n: (m[n] if self.core.is_and(n) else input_map.get(n, 0))
+                        for n in self.core.nodes()}
+            node_map[0] = FALSE
+            frame_maps.append(node_map)
+            for lit, oname in zip(self.core.outputs, self.core.output_names):
+                out.add_output(m[lit >> 1] ^ (lit & 1),
+                               "{}@{}".format(oname or "po", frame))
+            state_lits = {ff.state: m[ff.next_state >> 1] ^ (ff.next_state & 1)
+                          for ff in self.flops}
+        return out, frame_maps
+
+
+def read_bench_sequential(source: Union[str, "TextIO"],
+                          name: str = "bench") -> SequentialCircuit:
+    """Parse ``.bench`` keeping flip-flops as sequential elements.
+
+    Unlike :func:`repro.circuit.bench_io.read_bench` (which applies the
+    full-scan treatment), DFF outputs stay bound to their next-state
+    functions and only true inputs remain primary.
+    """
+    from .bench_io import read_bench
+    core = read_bench(source, name)
+    flops: List[FlipFlop] = []
+    # read_bench renders each DFF as: PI named <q> plus PO named "<q>_ns".
+    out_by_name = {oname: lit for lit, oname
+                   in zip(core.outputs, core.output_names) if oname}
+    for pi in core.inputs:
+        pi_name = core.name_of(pi)
+        if pi_name and pi_name + "_ns" in out_by_name:
+            flops.append(FlipFlop(state=pi,
+                                  next_state=out_by_name[pi_name + "_ns"],
+                                  name=pi_name))
+    # Drop the helper _ns outputs from the visible interface.
+    keep = [(lit, oname) for lit, oname in zip(core.outputs,
+                                               core.output_names)
+            if not (oname and oname.endswith("_ns")
+                    and core.node_by_name(oname[:-3]) is not None)]
+    core.outputs = [lit for lit, _ in keep]
+    core.output_names = [oname for _, oname in keep]
+    return SequentialCircuit(core, flops, name=name)
+
+
+def bounded_model_check(sequential: SequentialCircuit,
+                        bad_output: int = 0,
+                        max_frames: int = 8,
+                        options=None,
+                        limits=None):
+    """Can the ``bad_output``-th primary output become 1 within k frames?
+
+    Unrolls frame by frame and asks the correlation-guided solver whether
+    the property output fires in the *last* frame.  Returns
+    ``(frame, SolverResult)`` for the first satisfiable depth, or
+    ``(None, last_result)`` when no counterexample exists within
+    ``max_frames``.
+    """
+    from ..core.solver import CircuitSolver
+    last = None
+    for k in range(1, max_frames + 1):
+        unrolled, _ = sequential.unroll(k)
+        per_frame = len(sequential.core.outputs)
+        obj_index = (k - 1) * per_frame + bad_output
+        objective = unrolled.outputs[obj_index]
+        result = CircuitSolver(unrolled, options).solve(
+            objectives=[objective], limits=limits)
+        last = result
+        if result.is_sat:
+            return k, result
+        if result.status not in ("UNSAT",):
+            return None, result  # budget exhausted
+    return None, last

@@ -1,0 +1,116 @@
+"""Topological utilities: ordering, cones, fanout and circuit composition.
+
+Node creation order in :class:`~repro.circuit.netlist.Circuit` is already a
+topological order, so most traversals are simple ascending scans.  The
+functions here cover the remaining structural needs of the package: restricted
+cones, transitive fanout, extracting a cone as a standalone circuit, and
+appending one circuit into another (the basis of miter construction and of the
+rewriting passes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import CircuitError
+from .netlist import AND, PI, Circuit, lit_not, make_lit
+
+
+def topological_order(circuit: Circuit,
+                      roots: Optional[Iterable[int]] = None) -> List[int]:
+    """Node ids in topological order.
+
+    With ``roots`` (an iterable of *literals*), only nodes in the transitive
+    fanin cone of the roots are returned, still topologically sorted.
+    """
+    if roots is None:
+        return list(range(circuit.num_nodes))
+    return circuit.cone(roots)
+
+
+def transitive_fanout(circuit: Circuit, seeds: Iterable[int]) -> List[int]:
+    """All nodes reachable forward from the given node ids (inclusive)."""
+    in_set = [False] * circuit.num_nodes
+    for s in seeds:
+        in_set[s] = True
+    result = []
+    for n in circuit.nodes():
+        if in_set[n]:
+            result.append(n)
+            continue
+        if circuit.is_and(n):
+            if in_set[circuit.fanin0(n) >> 1] or in_set[circuit.fanin1(n) >> 1]:
+                in_set[n] = True
+                result.append(n)
+    return result
+
+
+def append_circuit(dst: Circuit, src: Circuit,
+                   input_map: Dict[int, int],
+                   raw: bool = False) -> List[int]:
+    """Copy ``src``'s logic into ``dst``.
+
+    ``input_map`` maps each *src PI node id* to a *dst literal*.  Returns a
+    list ``m`` such that ``m[src_node]`` is the dst literal implementing the
+    positive phase of that src node (useful for wiring outputs afterwards).
+
+    With ``raw=True`` the gates are copied verbatim (no simplification or
+    strashing in ``dst``), preserving the source structure exactly.
+    """
+    m: List[int] = [0] * src.num_nodes  # src const0 -> dst FALSE literal (0)
+    for pi in src.inputs:
+        try:
+            m[pi] = input_map[pi]
+        except KeyError:
+            raise CircuitError("input_map missing src PI node {}".format(pi))
+    add = dst.add_raw_and if raw else dst.add_and
+    for n in src.nodes():
+        if src.is_and(n):
+            f0, f1 = src.fanins(n)
+            a = m[f0 >> 1] ^ (f0 & 1)
+            b = m[f1 >> 1] ^ (f1 & 1)
+            m[n] = add(a, b)
+    return m
+
+
+def extract_cone(circuit: Circuit,
+                 root_lits: Sequence[int],
+                 name: Optional[str] = None) -> Tuple[Circuit, Dict[int, int]]:
+    """Extract the cone of the given literals as a standalone circuit.
+
+    PIs feeding the cone become PIs of the extracted circuit (names are
+    preserved); each root literal becomes an output.  Returns the new circuit
+    and a map from original node id to new literal.
+    """
+    cone_nodes = circuit.cone(root_lits)
+    sub = Circuit(name or (circuit.name + ".cone"))
+    node_map: Dict[int, int] = {0: 0}
+    for n in cone_nodes:
+        if n == 0:
+            continue
+        if circuit.is_input(n):
+            node_map[n] = sub.add_input(circuit.name_of(n))
+        else:
+            f0, f1 = circuit.fanins(n)
+            a = node_map[f0 >> 1] ^ (f0 & 1)
+            b = node_map[f1 >> 1] ^ (f1 & 1)
+            node_map[n] = sub.add_and(a, b)
+    for r in root_lits:
+        sub.add_output(node_map[r >> 1] ^ (r & 1))
+    return sub, node_map
+
+
+def restrash(circuit: Circuit, name: Optional[str] = None) -> Tuple[Circuit, List[int]]:
+    """Rebuild a circuit with full strashing/simplification enabled.
+
+    Returns the rebuilt circuit plus a map ``m[old_node] -> new literal``.
+    Inputs are recreated in order so PI indices correspond 1:1.
+    """
+    out = Circuit(name or circuit.name, strash=True)
+    input_map: Dict[int, int] = {}
+    for pi in circuit.inputs:
+        input_map[pi] = out.add_input(circuit.name_of(pi))
+    m = append_circuit(out, circuit, input_map)
+    for lit, oname in zip(circuit.outputs, circuit.output_names):
+        out.add_output(m[lit >> 1] ^ (lit & 1), oname)
+    return out, m

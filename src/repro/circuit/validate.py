@@ -1,0 +1,163 @@
+"""Deep circuit validation and structural statistics.
+
+:func:`validate` goes beyond :meth:`Circuit.check`'s structural invariants:
+it verifies the semantic conventions the solver relies on (no degenerate
+gates, outputs reachable, names consistent) and returns a structured report
+instead of only raising.  :func:`statistics` computes the profile numbers
+used by examples, documentation and instance sizing: level histograms,
+fanout distribution, cone sizes and XOR/MUX content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import CircuitError
+from .netlist import Circuit
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate`.
+
+    ``errors`` are violations of invariants the solver requires;
+    ``warnings`` are legal but suspicious constructs (dangling gates,
+    unused inputs, degenerate gates that only raw construction can
+    produce).
+    """
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_on_error(self) -> None:
+        if self.errors:
+            raise CircuitError("; ".join(self.errors))
+
+
+def validate(circuit: Circuit) -> ValidationReport:
+    """Validate a circuit thoroughly; never raises (see the report)."""
+    report = ValidationReport()
+    try:
+        circuit.check()
+    except CircuitError as exc:
+        report.errors.append(str(exc))
+        return report
+
+    live = set(circuit.cone(circuit.outputs)) if circuit.outputs else set()
+    dangling = 0
+    for n in circuit.and_nodes():
+        f0, f1 = circuit.fanins(n)
+        if (f0 >> 1) == (f1 >> 1):
+            report.warnings.append(
+                "gate {} has both pins on node {} (degenerate; the circuit "
+                "solver rejects it)".format(n, f0 >> 1))
+        if (f0 >> 1) == 0 or (f1 >> 1) == 0:
+            report.warnings.append(
+                "gate {} reads the constant node (foldable)".format(n))
+        if circuit.outputs and n not in live:
+            dangling += 1
+    if dangling:
+        report.warnings.append(
+            "{} gate(s) do not reach any output (dead logic)".format(dangling))
+
+    if circuit.outputs:
+        unused = [pi for pi in circuit.inputs if pi not in live]
+        if unused:
+            report.warnings.append(
+                "{} input(s) do not reach any output".format(len(unused)))
+    else:
+        report.warnings.append("circuit has no outputs")
+
+    for name, node in list(circuit._name_to_node.items()):
+        if circuit.name_of(node) != name:
+            report.errors.append(
+                "name table inconsistent for {!r}".format(name))
+    return report
+
+
+@dataclass
+class CircuitStatistics:
+    """Structural profile of a circuit (see :func:`statistics`)."""
+
+    nodes: int
+    inputs: int
+    outputs: int
+    ands: int
+    depth: int
+    dead_gates: int
+    level_histogram: Dict[int, int]
+    fanout_histogram: Dict[int, int]
+    max_fanout: int
+    avg_fanout: float
+    xor_blocks: int
+    mux_blocks: int
+    output_cone_sizes: List[int]
+
+    def summary(self) -> str:
+        lines = [
+            "nodes={} inputs={} ands={} outputs={} depth={}".format(
+                self.nodes, self.inputs, self.ands, self.outputs, self.depth),
+            "fanout: max={} avg={:.2f}".format(self.max_fanout,
+                                               self.avg_fanout),
+            "recognized blocks: xor/xnor={} mux={}".format(self.xor_blocks,
+                                                           self.mux_blocks),
+            "dead gates: {}".format(self.dead_gates),
+        ]
+        if self.output_cone_sizes:
+            lines.append("output cone sizes: min={} max={}".format(
+                min(self.output_cone_sizes), max(self.output_cone_sizes)))
+        return "\n".join(lines)
+
+
+def statistics(circuit: Circuit) -> CircuitStatistics:
+    """Compute the structural profile of a circuit."""
+    levels = circuit.levels()
+    level_hist: Dict[int, int] = {}
+    for n in circuit.and_nodes():
+        level_hist[levels[n]] = level_hist.get(levels[n], 0) + 1
+
+    fanouts = circuit.fanouts()
+    fanout_hist: Dict[int, int] = {}
+    total_fanout = 0
+    max_fanout = 0
+    counted = 0
+    for n in circuit.nodes():
+        if n == 0:
+            continue
+        fo = len(fanouts[n])
+        fanout_hist[fo] = fanout_hist.get(fo, 0) + 1
+        total_fanout += fo
+        max_fanout = max(max_fanout, fo)
+        counted += 1
+
+    live = set(circuit.cone(circuit.outputs)) if circuit.outputs else set()
+    dead = sum(1 for n in circuit.and_nodes()
+               if circuit.outputs and n not in live)
+
+    fanout_count = [len(fanouts[n]) for n in circuit.nodes()]
+    xor_blocks = mux_blocks = 0
+    from .rewrite import _match_xnor_mux
+    for n in circuit.and_nodes():
+        pattern = _match_xnor_mux(circuit, n, fanout_count)
+        if pattern is None:
+            continue
+        if pattern[0] == "xnor_neg":
+            xor_blocks += 1
+        else:
+            mux_blocks += 1
+
+    cone_sizes = [len(circuit.cone([o])) for o in circuit.outputs]
+    return CircuitStatistics(
+        nodes=circuit.num_nodes, inputs=circuit.num_inputs,
+        outputs=circuit.num_outputs, ands=circuit.num_ands,
+        depth=circuit.max_level, dead_gates=dead,
+        level_histogram=level_hist, fanout_histogram=fanout_hist,
+        max_fanout=max_fanout,
+        avg_fanout=(total_fanout / counted) if counted else 0.0,
+        xor_blocks=xor_blocks, mux_blocks=mux_blocks,
+        output_cone_sizes=cone_sizes)

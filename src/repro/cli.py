@@ -1,0 +1,331 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``solve``      solve a ``.bench`` circuit (objective: every output = 1)
+``solve-cnf``  solve a DIMACS file with the CNF baseline or via the circuit
+               solver (CNF-to-circuit conversion, as the paper does)
+``equiv``      SAT equivalence check of two ``.bench`` circuits
+``sweep``      SAT-sweep a circuit and write the reduced ``.bench``
+``stats``      structural statistics of a circuit
+``bmc``        bounded model check a sequential ``.bench`` (DFFs kept)
+``atpg``       generate stuck-at test patterns for a ``.bench`` circuit
+``check-proof``verify a DRUP proof produced by ``solve --proof``
+``gen``        emit one of the built-in benchmark circuits as ``.bench``
+``bench``      regenerate one of the paper's tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .circuit.bench_io import read_bench, write_bench
+from .circuit.sequential import bounded_model_check, read_bench_sequential
+from .circuit.validate import statistics, validate
+from .cnf.formula import read_dimacs
+from .cnf.solver import CnfSolver
+from .circuit.cnf_convert import cnf_to_circuit
+from .core.solver import CircuitSolver, check_equivalence
+from .core.sweep import sat_sweep
+from .csat.options import preset
+from .result import Limits
+
+_PRESETS = ("csat", "csat-jnode", "implicit", "explicit", "explicit-pair",
+            "explicit-const")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--preset", choices=_PRESETS, default="explicit",
+                        help="solver configuration (default: explicit)")
+    parser.add_argument("--budget", type=float, default=None,
+                        help="wall-clock budget in seconds")
+
+
+def _limits(args) -> Optional[Limits]:
+    if args.budget is None:
+        return None
+    return Limits(max_seconds=args.budget)
+
+
+def _read_circuit(path: str):
+    """Read a combinational circuit; format chosen by extension
+    (.aag = ASCII AIGER, anything else = .bench)."""
+    from .circuit.aiger import read_aiger
+    with open(path) as fh:
+        if path.endswith(".aag"):
+            return read_aiger(fh, name=path, as_sequential=False)
+        return read_bench(fh, name=path)
+
+
+def _print_result(result, label: str = "result") -> int:
+    print("{}: {}".format(label, result.status))
+    print("time: {:.3f}s (simulation {:.3f}s)".format(result.time_seconds,
+                                                      result.sim_seconds))
+    stats = result.stats
+    print("decisions={} conflicts={} propagations={} learned={}".format(
+        stats.decisions, stats.conflicts, stats.propagations,
+        stats.learned_clauses))
+    if result.status == "SAT":
+        return 10  # SAT-competition-style exit codes
+    if result.status == "UNSAT":
+        return 20
+    return 0
+
+
+def cmd_solve(args) -> int:
+    from .proof import ProofLog
+    circuit = _read_circuit(args.file)
+    proof = ProofLog() if args.proof else None
+    solver = CircuitSolver(circuit, preset(args.preset), proof=proof)
+    result = solver.solve(limits=_limits(args))
+    code = _print_result(result, args.file)
+    if args.proof and result.is_unsat:
+        with open(args.proof, "w") as fh:
+            fh.write(proof.to_text())
+        print("wrote DRUP proof to {} ({} steps)".format(args.proof,
+                                                         len(proof)))
+    if result.is_sat and args.model:
+        for pi in circuit.inputs:
+            print("{} = {}".format(circuit.name_of(pi) or pi,
+                                   int(result.model.get(pi, False))))
+    return code
+
+
+def cmd_solve_cnf(args) -> int:
+    with open(args.file) as fh:
+        formula = read_dimacs(fh, name=args.file)
+    if args.via_circuit:
+        circuit, _ = cnf_to_circuit(formula)
+        result = CircuitSolver(circuit, preset(args.preset)).solve(
+            limits=_limits(args))
+    else:
+        result = CnfSolver(formula).solve(limits=_limits(args))
+    return _print_result(result, args.file)
+
+
+def cmd_equiv(args) -> int:
+    left = _read_circuit(args.left)
+    right = _read_circuit(args.right)
+    result = check_equivalence(left, right, preset(args.preset),
+                               limits=_limits(args))
+    if result.is_unsat:
+        print("EQUIVALENT ({:.3f}s, {} conflicts)".format(
+            result.time_seconds, result.stats.conflicts))
+        return 0
+    if result.is_sat:
+        print("NOT EQUIVALENT ({:.3f}s) — counterexample exists".format(
+            result.time_seconds))
+        return 1
+    print("UNDECIDED (budget exhausted)")
+    return 2
+
+
+def cmd_sweep(args) -> int:
+    circuit = _read_circuit(args.file)
+    result = sat_sweep(circuit,
+                       per_candidate_conflicts=args.candidate_conflicts)
+    print("gates: {} -> {} (merged {} pairs, {} constants; "
+          "{} refuted, {} undecided) in {:.3f}s".format(
+              result.gates_before, result.gates_after, result.merged_pairs,
+              result.merged_constants, result.refuted, result.undecided,
+              result.seconds))
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(write_bench(result.circuit))
+        print("wrote {}".format(args.output))
+    return 0
+
+
+def cmd_stats(args) -> int:
+    circuit = _read_circuit(args.file)
+    report = validate(circuit)
+    print(statistics(circuit).summary())
+    for warning in report.warnings:
+        print("warning: {}".format(warning))
+    for error in report.errors:
+        print("ERROR: {}".format(error))
+    return 0 if report.ok else 1
+
+
+def cmd_bmc(args) -> int:
+    with open(args.file) as fh:
+        seq = read_bench_sequential(fh, name=args.file)
+    print(seq)
+    frame, result = bounded_model_check(seq, bad_output=args.output_index,
+                                        max_frames=args.frames,
+                                        options=preset(args.preset),
+                                        limits=_limits(args))
+    if frame is not None:
+        print("property FAILS at frame {} ({})".format(frame, result.status))
+        return 1
+    print("no counterexample within {} frames ({})".format(args.frames,
+                                                           result.status))
+    return 0
+
+
+def cmd_atpg(args) -> int:
+    from .atpg import full_fault_list, generate_tests
+    circuit = _read_circuit(args.file)
+    faults = full_fault_list(circuit)
+    result = generate_tests(circuit, faults, options=preset(args.preset),
+                            per_fault_limits=_limits(args),
+                            random_patterns=args.random_patterns)
+    print(result.summary())
+    if args.vectors:
+        for pattern in result.patterns:
+            print("{} # detects {}".format(pattern.as_bits(circuit),
+                                           len(pattern.detects)))
+    return 0
+
+
+def cmd_gen(args) -> int:
+    from .gen.iscas import catalog_names, circuit_by_name
+    from .gen.scan import scan_catalog_names, scan_circuit_by_name
+    from .gen.velev import vliw_like
+    name = args.name.lower()
+    if name in catalog_names():
+        circuit = circuit_by_name(name)
+    elif name.split(".")[0] in scan_catalog_names():
+        circuit = scan_circuit_by_name(name)
+    elif name.startswith("9vliw"):
+        circuit = vliw_like(int(name[5:]))
+    else:
+        print("unknown circuit {!r}; known: {} / {} / 9vliwNNN".format(
+            args.name, ", ".join(catalog_names()),
+            ", ".join(scan_catalog_names())), file=sys.stderr)
+        return 2
+    text = write_bench(circuit)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print("wrote {} ({} gates)".format(args.output, circuit.num_ands))
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_check_proof(args) -> int:
+    from .circuit.cnf_convert import tseitin
+    from .proof import ProofLog, check_drup
+    circuit = _read_circuit(args.file)
+    log = ProofLog()
+    with open(args.proof) as fh:
+        for line in fh:
+            tokens = line.split()
+            if not tokens:
+                continue
+            delete = tokens[0] == "d"
+            if delete:
+                tokens = tokens[1:]
+            lits = [int(t) for t in tokens]
+            if lits and lits[-1] == 0:
+                lits = lits[:-1]
+            if delete:
+                log.delete(lits)
+            else:
+                log.add(lits)
+    formula, _ = tseitin(circuit, objectives=list(circuit.outputs))
+    verdict = check_drup(formula, log)
+    if verdict.ok:
+        print("proof VERIFIED ({} steps)".format(verdict.steps_checked))
+        return 0
+    print("proof REJECTED: {}".format(verdict.reason))
+    return 1
+
+
+def cmd_bench(args) -> int:
+    from .bench.tables import ALL_TABLES
+    if args.table not in ALL_TABLES:
+        print("unknown table {!r}; known: {}".format(
+            args.table, ", ".join(ALL_TABLES)), file=sys.stderr)
+        return 2
+    result = ALL_TABLES[args.table](args.budget)
+    print(result)
+    return 0 if result.all_passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="solve a .bench/.aag circuit")
+    p.add_argument("file")
+    p.add_argument("--model", action="store_true",
+                   help="print the input assignment on SAT")
+    p.add_argument("--proof", metavar="FILE",
+                   help="write a DRUP proof here on UNSAT")
+    _add_common(p)
+    p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("solve-cnf", help="solve a DIMACS CNF file")
+    p.add_argument("file")
+    p.add_argument("--via-circuit", action="store_true",
+                   help="convert to a 2-level circuit and use the circuit "
+                        "solver (the paper's CNF path)")
+    _add_common(p)
+    p.set_defaults(func=cmd_solve_cnf)
+
+    p = sub.add_parser("equiv", help="equivalence-check two .bench circuits")
+    p.add_argument("left")
+    p.add_argument("right")
+    _add_common(p)
+    p.set_defaults(func=cmd_equiv)
+
+    p = sub.add_parser("sweep", help="SAT-sweep a circuit")
+    p.add_argument("file")
+    p.add_argument("-o", "--output", help="write reduced .bench here")
+    p.add_argument("--candidate-conflicts", type=int, default=2000)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("stats", help="structural statistics / validation")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("bmc", help="bounded model check a sequential .bench")
+    p.add_argument("file")
+    p.add_argument("--frames", type=int, default=8)
+    p.add_argument("--output-index", type=int, default=0,
+                   help="which primary output is the property (default 0)")
+    _add_common(p)
+    p.set_defaults(func=cmd_bmc)
+
+    p = sub.add_parser("atpg", help="stuck-at test generation")
+    p.add_argument("file")
+    p.add_argument("--random-patterns", type=int, default=64)
+    p.add_argument("--vectors", action="store_true",
+                   help="print the generated test vectors")
+    _add_common(p)
+    p.set_defaults(func=cmd_atpg)
+
+    p = sub.add_parser("gen", help="emit a built-in benchmark circuit")
+    p.add_argument("name", help="e.g. c6288, s13207, 9vliw004")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_gen)
+
+    p = sub.add_parser("check-proof",
+                       help="verify a DRUP proof against a circuit")
+    p.add_argument("file", help="the circuit the proof refutes")
+    p.add_argument("proof", help="DRUP proof file from solve --proof")
+    p.set_defaults(func=cmd_check_proof)
+
+    p = sub.add_parser("bench", help="regenerate one paper table")
+    p.add_argument("table", help="table1 .. table10")
+    p.add_argument("--budget", type=float, default=None)
+    p.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,8 @@
+"""CNF substrate: formula container, DIMACS I/O, CDCL baseline solver."""
+
+from .formula import CnfFormula, read_dimacs, write_dimacs
+from .preprocess import PreprocessResult, preprocess
+from .solver import CnfSolver, solve_formula
+
+__all__ = ["CnfFormula", "read_dimacs", "write_dimacs", "CnfSolver",
+           "solve_formula", "PreprocessResult", "preprocess"]

@@ -1,0 +1,108 @@
+"""CNF formula container and DIMACS reader/writer.
+
+Variables are positive integers ``1..num_vars`` and clause literals use the
+DIMACS convention (negative integer = negated variable).  This is the input
+format of the CNF baseline solver and of the CNF-to-circuit conversion the
+paper applies to CNF-formatted problems.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, TextIO, Union
+
+from ..errors import ParseError
+
+
+class CnfFormula:
+    """A CNF formula: a clause list plus a variable count."""
+
+    def __init__(self, num_vars: int = 0,
+                 clauses: Optional[Iterable[Sequence[int]]] = None,
+                 name: str = "cnf"):
+        self.name = name
+        self.num_vars = num_vars
+        self.clauses: List[List[int]] = []
+        if clauses is not None:
+            for clause in clauses:
+                self.add_clause(clause)
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return it."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Append a clause, extending the variable count as needed."""
+        clause = list(literals)
+        for lit in clause:
+            if lit == 0:
+                raise ParseError("0 is not a valid DIMACS literal")
+            var = abs(lit)
+            if var > self.num_vars:
+                self.num_vars = var
+        self.clauses.append(clause)
+
+    def evaluate(self, assignment: Sequence[bool]) -> bool:
+        """Evaluate under a full assignment (index 1..num_vars; index 0 unused)."""
+        for clause in self.clauses:
+            if not any(assignment[abs(l)] ^ (l < 0) for l in clause):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return "CnfFormula({!r}: {} vars, {} clauses)".format(
+            self.name, self.num_vars, self.num_clauses)
+
+
+def read_dimacs(source: Union[str, TextIO], name: str = "dimacs") -> CnfFormula:
+    """Parse a DIMACS CNF file (string or file object)."""
+    if not isinstance(source, str):
+        source = source.read()
+    formula = CnfFormula(name=name)
+    declared_vars = declared_clauses = None
+    current: List[int] = []
+    for no, line in enumerate(source.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ParseError("malformed problem line {!r}".format(line), no)
+            try:
+                declared_vars, declared_clauses = int(parts[2]), int(parts[3])
+            except ValueError:
+                raise ParseError("malformed problem line {!r}".format(line), no)
+            continue
+        for tok in line.split():
+            try:
+                lit = int(tok)
+            except ValueError:
+                raise ParseError("bad literal {!r}".format(tok), no)
+            if lit == 0:
+                formula.add_clause(current)
+                current = []
+            else:
+                current.append(lit)
+    if current:
+        # Tolerate a missing trailing 0, as many tools do.
+        formula.add_clause(current)
+    if declared_vars is not None and declared_vars > formula.num_vars:
+        formula.num_vars = declared_vars
+    if declared_clauses is not None and declared_clauses != formula.num_clauses:
+        # Header mismatches are common in the wild; keep the actual count.
+        pass
+    return formula
+
+
+def write_dimacs(formula: CnfFormula) -> str:
+    """Serialize a formula to DIMACS CNF text."""
+    lines = ["c {}".format(formula.name),
+             "p cnf {} {}".format(formula.num_vars, formula.num_clauses)]
+    for clause in formula.clauses:
+        lines.append(" ".join(str(l) for l in clause) + " 0")
+    return "\n".join(lines) + "\n"

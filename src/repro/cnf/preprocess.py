@@ -1,0 +1,193 @@
+"""CNF preprocessing: units, pure literals, subsumption, strengthening.
+
+ZChaff-era front-end simplifications for the CNF baseline.  All transforms
+preserve satisfiability; assignments fixed during preprocessing (units,
+pure literals) are recorded so that a model of the simplified formula can
+be completed into a model of the original (:meth:`PreprocessResult.extend_model`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import SolverError
+from .formula import CnfFormula
+
+
+@dataclass
+class PreprocessResult:
+    """Simplified formula plus reconstruction data and statistics."""
+
+    formula: CnfFormula
+    unsat: bool = False
+    forced: Dict[int, bool] = field(default_factory=dict)  # var -> value
+    units_propagated: int = 0
+    pure_literals: int = 0
+    clauses_subsumed: int = 0
+    literals_strengthened: int = 0
+    tautologies_removed: int = 0
+
+    def extend_model(self, model: Dict[int, bool]) -> Dict[int, bool]:
+        """Complete a model of the simplified formula for the original."""
+        full = dict(model)
+        for var, value in self.forced.items():
+            full[var] = value
+        return full
+
+
+def _propagate_units(clauses: List[List[int]], forced: Dict[int, bool]
+                     ) -> Tuple[List[List[int]], int, bool]:
+    """Unit propagation to fixpoint.  Returns (clauses, count, unsat)."""
+    count = 0
+    while True:
+        unit = None
+        for clause in clauses:
+            if len(clause) == 1:
+                unit = clause[0]
+                break
+        if unit is None:
+            return clauses, count, False
+        var, value = abs(unit), unit > 0
+        if var in forced and forced[var] != value:
+            return clauses, count, True
+        forced[var] = value
+        count += 1
+        next_clauses = []
+        for clause in clauses:
+            if unit in clause:
+                continue  # satisfied
+            if -unit in clause:
+                reduced = [l for l in clause if l != -unit]
+                if not reduced:
+                    return clauses, count, True
+                next_clauses.append(reduced)
+            else:
+                next_clauses.append(clause)
+        clauses = next_clauses
+
+
+def _eliminate_pure(clauses: List[List[int]], forced: Dict[int, bool]
+                    ) -> Tuple[List[List[int]], int]:
+    """Repeatedly remove clauses containing pure literals."""
+    total = 0
+    while True:
+        polarity: Dict[int, Set[bool]] = {}
+        for clause in clauses:
+            for lit in clause:
+                polarity.setdefault(abs(lit), set()).add(lit > 0)
+        pure = {var: polarities.pop()
+                for var, polarities in polarity.items()
+                if len(polarities) == 1 and var not in forced}
+        if not pure:
+            return clauses, total
+        for var, value in pure.items():
+            forced[var] = value
+            total += 1
+        pure_lits = {var if value else -var for var, value in pure.items()}
+        clauses = [c for c in clauses if not pure_lits.intersection(c)]
+
+
+def _subsume(clauses: List[List[int]]) -> Tuple[List[List[int]], int, int]:
+    """Forward subsumption and self-subsuming resolution (strengthening).
+
+    A clause C subsumes D when C ⊆ D (D is dropped).  If C \\ {l} ⊆ D and
+    ¬l ∈ D, resolution on l lets D drop ¬l (strengthening).
+    """
+    subsumed = 0
+    strengthened = 0
+    sets = [frozenset(c) for c in clauses]
+    order = sorted(range(len(clauses)), key=lambda i: len(sets[i]))
+    alive = [True] * len(clauses)
+    # Occurrence index: literal -> clause indices containing it.
+    occurs: Dict[int, List[int]] = {}
+    for i, cset in enumerate(sets):
+        for lit in cset:
+            occurs.setdefault(lit, []).append(i)
+
+    result_sets: Dict[int, frozenset] = {i: sets[i] for i in range(len(sets))}
+    for i in order:
+        if not alive[i]:
+            continue
+        small = result_sets[i]
+        if not small:
+            continue
+        # Candidate supersets must contain the rarest literal of `small`.
+        anchor = min(small, key=lambda l: len(occurs.get(l, ())))
+        for j in occurs.get(anchor, ()):
+            if j == i or not alive[j]:
+                continue
+            big = result_sets[j]
+            if len(big) < len(small):
+                continue
+            if small <= big:
+                alive[j] = False
+                subsumed += 1
+        # Strengthening: for each literal l in small, look for clauses
+        # containing ¬l that include the rest of small.
+        for lit in small:
+            rest = small - {lit}
+            for j in occurs.get(-lit, ()):
+                if not alive[j] or j == i:
+                    continue
+                big = result_sets[j]
+                if rest <= big and -lit in big:
+                    new = big - {-lit}
+                    if not new:
+                        # Empty clause: formula is UNSAT; represent it and
+                        # let the caller notice via an empty clause.
+                        result_sets[j] = frozenset()
+                        strengthened += 1
+                        continue
+                    result_sets[j] = new
+                    strengthened += 1
+    out = [sorted(result_sets[i], key=abs) for i in range(len(clauses))
+           if alive[i]]
+    return out, subsumed, strengthened
+
+
+def preprocess(formula: CnfFormula,
+               subsumption: bool = True) -> PreprocessResult:
+    """Simplify a formula; the result is equisatisfiable.
+
+    Applies, to fixpoint: tautology removal, unit propagation, pure-literal
+    elimination and (optionally) subsumption with self-subsuming
+    resolution.
+    """
+    result = PreprocessResult(formula=CnfFormula(name=formula.name + ".pre"))
+    clauses: List[List[int]] = []
+    for clause in formula.clauses:
+        lits = sorted(set(clause), key=abs)
+        if any(-l in lits for l in lits):
+            result.tautologies_removed += 1
+            continue
+        if not lits:
+            result.unsat = True
+            return result
+        clauses.append(lits)
+
+    changed = True
+    while changed:
+        before = (len(clauses), sum(len(c) for c in clauses))
+        clauses, n_units, unsat = _propagate_units(clauses, result.forced)
+        result.units_propagated += n_units
+        if unsat:
+            result.unsat = True
+            return result
+        clauses, n_pure = _eliminate_pure(clauses, result.forced)
+        result.pure_literals += n_pure
+        if subsumption:
+            clauses, n_sub, n_str = _subsume(clauses)
+            result.clauses_subsumed += n_sub
+            result.literals_strengthened += n_str
+            if any(not c for c in clauses):
+                result.unsat = True
+                return result
+        changed = (len(clauses), sum(len(c) for c in clauses)) != before
+
+    out = CnfFormula(num_vars=formula.num_vars,
+                     name=formula.name + ".pre")
+    for clause in clauses:
+        out.add_clause(clause)
+    result.formula = out
+    return result

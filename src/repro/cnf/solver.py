@@ -1,0 +1,542 @@
+"""CDCL CNF solver — the ZChaff-architecture baseline.
+
+The paper compares its circuit solver against ZChaff; since ZChaff is a
+closed C++ binary, every table here uses this from-scratch CDCL solver with
+the same architecture as its baseline (see DESIGN.md, substitution 1):
+
+* two watched literals per clause (Chaff's lazy BCP);
+* VSIDS decision ordering with periodic decay;
+* first-UIP conflict analysis with conflict-clause learning and
+  non-chronological backjumping (Zhang et al., ICCAD 2001);
+* geometric restarts;
+* activity-based learned-clause deletion.
+
+Literals are encoded internally as ``2*var + sign`` (sign 1 = negated);
+the public API speaks DIMACS integers.
+"""
+
+from __future__ import annotations
+
+import time
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import SolverError
+from ..result import Limits, SAT, SolverResult, SolverStats, UNKNOWN, UNSAT
+from .formula import CnfFormula
+
+
+def _dimacs(lit: int) -> int:
+    """Internal literal back to DIMACS form."""
+    var = lit >> 1
+    return -var if (lit & 1) else var
+
+_UNASSIGNED = -1
+_NO_REASON = -1
+
+
+def _ilit(dimacs_lit: int) -> int:
+    """DIMACS literal to internal encoding."""
+    var = abs(dimacs_lit)
+    return 2 * var + (1 if dimacs_lit < 0 else 0)
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,... (0-indexed).
+
+    Standard formulation: locate position ``i`` inside the smallest full
+    binary prefix that contains it, recursing into the remainder.
+    """
+    size, seq = 1, 0
+    while size < i + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != i:
+        size = (size - 1) // 2
+        seq -= 1
+        i = i % size
+    return 1 << seq
+
+
+class CnfSolver:
+    """A CDCL solver over a :class:`~repro.cnf.formula.CnfFormula`.
+
+    One instance may be solved repeatedly (e.g. under different assumptions);
+    learned clauses persist between calls.
+    """
+
+    def __init__(self, formula: CnfFormula,
+                 var_decay: float = 0.95,
+                 clause_decay: float = 0.999,
+                 restart_first: int = 100,
+                 restart_factor: float = 1.5,
+                 learnt_limit_factor: float = 0.33,
+                 minimize_learned: bool = True,
+                 restart_strategy: str = "geometric",
+                 phase_saving: bool = False,
+                 proof=None):
+        #: Optional repro.proof.ProofLog collecting a DRUP trace.
+        self.proof = proof
+        if restart_strategy not in ("geometric", "luby"):
+            raise SolverError("restart_strategy must be geometric or luby")
+        #: "geometric" is the ZChaff-era default; "luby" the modern one.
+        self.restart_strategy = restart_strategy
+        #: Remember each variable's last value and reuse it on decisions
+        #: (not in ZChaff; off by default for baseline fidelity).
+        self.phase_saving = phase_saving
+        self.num_vars = formula.num_vars
+        n = self.num_vars
+        self.values: List[int] = [_UNASSIGNED] * (n + 1)
+        self.level: List[int] = [0] * (n + 1)
+        self.reason: List[int] = [_NO_REASON] * (n + 1)
+        self.trail: List[int] = []       # internal literals, in assignment order
+        self.trail_lim: List[int] = []   # trail index at each decision level
+        self.qhead = 0
+        self.clauses: List[Optional[List[int]]] = []
+        self.learnt_idx: List[int] = []  # indices of learned clauses
+        self.clause_activity: Dict[int, float] = {}
+        self.watches: List[List[int]] = [[] for _ in range(2 * n + 2)]
+        self.activity: List[float] = [0.0] * (2 * n + 2)
+        self.heap: List = []  # lazy max-heap of (-activity, literal)
+        self.var_inc = 1.0
+        self.var_decay = var_decay
+        self.cla_inc = 1.0
+        self.clause_decay = clause_decay
+        self.restart_first = restart_first
+        self.restart_factor = restart_factor
+        self.minimize_learned = minimize_learned
+        self.stats = SolverStats()
+        self.ok = True  # False once root-level UNSAT is established
+        self._seen: List[bool] = [False] * (n + 1)
+        self._saved_phase: List[int] = [0] * (n + 1)
+        self._luby_index = 0
+        self.max_learnts = max(1000.0,
+                               learnt_limit_factor * len(formula.clauses))
+        for lit in range(2, 2 * n + 2):
+            heappush(self.heap, (0.0, lit))
+        for clause in formula.clauses:
+            self.add_clause(clause)
+
+    # ------------------------------------------------------------------
+    # Assignment primitives
+    # ------------------------------------------------------------------
+
+    def lit_value(self, lit: int) -> int:
+        """Value of an internal literal: 0, 1 or -1 (unassigned)."""
+        v = self.values[lit >> 1]
+        if v == _UNASSIGNED:
+            return _UNASSIGNED
+        return v ^ (lit & 1)
+
+    @property
+    def decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _enqueue(self, lit: int, reason: int) -> bool:
+        """Assign ``lit`` true; False if it contradicts the current value."""
+        var = lit >> 1
+        val = self.values[var]
+        if val != _UNASSIGNED:
+            return val == (1 ^ (lit & 1))
+        self.values[var] = 1 ^ (lit & 1)
+        self.level[var] = self.decision_level
+        self.reason[var] = reason
+        self.trail.append(lit)
+        return True
+
+    def _new_decision_level(self) -> None:
+        self.trail_lim.append(len(self.trail))
+
+    def _cancel_until(self, target_level: int) -> None:
+        if self.decision_level <= target_level:
+            return
+        split = self.trail_lim[target_level]
+        for lit in reversed(self.trail[split:]):
+            var = lit >> 1
+            self._saved_phase[var] = self.values[var]
+            self.values[var] = _UNASSIGNED
+            self.reason[var] = _NO_REASON
+            heappush(self.heap, (-self.activity[lit], lit))
+            heappush(self.heap, (-self.activity[lit ^ 1], lit ^ 1))
+        del self.trail[split:]
+        del self.trail_lim[target_level:]
+        self.qhead = len(self.trail)
+
+    # ------------------------------------------------------------------
+    # Clause database
+    # ------------------------------------------------------------------
+
+    def add_clause(self, dimacs_literals: Sequence[int]) -> bool:
+        """Add a problem clause (root level only).  False = formula UNSAT."""
+        if self.decision_level != 0:
+            raise SolverError("clauses may only be added at decision level 0")
+        if not self.ok:
+            return False
+        lits: List[int] = []
+        seen = set()
+        for dl in dimacs_literals:
+            lit = _ilit(dl)
+            if lit ^ 1 in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            val = self.lit_value(lit)
+            if val == 1:
+                return True  # already satisfied at root
+            if val == 0:
+                continue     # already false at root: drop literal
+            seen.add(lit)
+            lits.append(lit)
+        if not lits:
+            self.ok = False
+            if self.proof is not None and not self.proof.complete:
+                self.proof.add([])
+            return False
+        if len(lits) == 1:
+            if not self._enqueue(lits[0], _NO_REASON):
+                self.ok = False
+            else:
+                self.ok = self._propagate() is None
+            if not self.ok and self.proof is not None \
+                    and not self.proof.complete:
+                self.proof.add([])
+            return self.ok
+        self._attach_clause(lits, learnt=False)
+        return True
+
+    def _attach_clause(self, lits: List[int], learnt: bool) -> int:
+        ci = len(self.clauses)
+        self.clauses.append(lits)
+        self.watches[lits[0]].append(ci)
+        self.watches[lits[1]].append(ci)
+        if learnt:
+            self.learnt_idx.append(ci)
+            self.clause_activity[ci] = self.cla_inc
+            self.stats.learned_clauses += 1
+            self.stats.learned_literals += len(lits)
+        return ci
+
+    def _reduce_db(self) -> None:
+        """Drop the less active half of the learned clauses."""
+        act = self.clause_activity
+        self.learnt_idx.sort(key=lambda ci: act.get(ci, 0.0))
+        keep_from = len(self.learnt_idx) // 2
+        kept: List[int] = []
+        for pos, ci in enumerate(self.learnt_idx):
+            clause = self.clauses[ci]
+            locked = (self.reason[clause[0] >> 1] == ci
+                      and self.lit_value(clause[0]) == 1)
+            if pos >= keep_from or len(clause) <= 2 or locked:
+                kept.append(ci)
+                continue
+            if self.proof is not None:
+                self.proof.delete([_dimacs(l) for l in clause])
+            self.clauses[ci] = None  # lazily removed from watch lists
+            del self.clause_activity[ci]
+            self.stats.deleted_clauses += 1
+        self.learnt_idx = kept
+
+    # ------------------------------------------------------------------
+    # BCP
+    # ------------------------------------------------------------------
+
+    def _propagate(self) -> Optional[int]:
+        """Propagate the trail; returns a conflicting clause index or None."""
+        clauses = self.clauses
+        watches = self.watches
+        values = self.values
+        while self.qhead < len(self.trail):
+            p = self.trail[self.qhead]
+            self.qhead += 1
+            self.stats.propagations += 1
+            false_lit = p ^ 1
+            ws = watches[false_lit]
+            i = 0
+            j = 0
+            n_ws = len(ws)
+            while i < n_ws:
+                ci = ws[i]
+                i += 1
+                clause = clauses[ci]
+                if clause is None:
+                    continue  # deleted clause: drop the watch
+                if clause[0] == false_lit:
+                    clause[0] = clause[1]
+                    clause[1] = false_lit
+                first = clause[0]
+                fv = values[first >> 1]
+                if fv != _UNASSIGNED and (fv ^ (first & 1)) == 1:
+                    ws[j] = ci
+                    j += 1
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    lk = clause[k]
+                    kv = values[lk >> 1]
+                    if kv == _UNASSIGNED or (kv ^ (lk & 1)) == 1:
+                        clause[1] = lk
+                        clause[k] = false_lit
+                        watches[lk].append(ci)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                ws[j] = ci
+                j += 1
+                if fv != _UNASSIGNED:  # first is false: conflict
+                    while i < n_ws:
+                        ws[j] = ws[i]
+                        j += 1
+                        i += 1
+                    del ws[j:]
+                    self.qhead = len(self.trail)
+                    return ci
+                self._enqueue(first, ci)
+            del ws[j:]
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+
+    def _bump_var(self, lit: int) -> None:
+        self.activity[lit] += self.var_inc
+        self.activity[lit ^ 1] += self.var_inc * 0.5
+        if self.activity[lit] > 1e100:
+            self._rescale_activity()
+        heappush(self.heap, (-self.activity[lit], lit))
+
+    def _rescale_activity(self) -> None:
+        self.activity = [a * 1e-100 for a in self.activity]
+        self.var_inc *= 1e-100
+        self.heap = [(-self.activity[lit], lit)
+                     for lit in range(2, 2 * self.num_vars + 2)
+                     if self.values[lit >> 1] == _UNASSIGNED]
+        import heapq
+        heapq.heapify(self.heap)
+
+    def _analyze(self, confl: int):
+        """Derive the 1UIP clause; returns (learnt_lits, backjump_level)."""
+        seen = self._seen
+        learnt: List[int] = [0]  # slot 0: asserting literal
+        counter = 0
+        p = None
+        bt_level = 0
+        index = len(self.trail) - 1
+        cur_level = self.decision_level
+        while True:
+            clause = self.clauses[confl]
+            if clause is None:
+                raise SolverError("reason clause was deleted")
+            if confl in self.clause_activity:
+                self.clause_activity[confl] += self.cla_inc
+            start = 1 if p is not None else 0
+            for q in clause[start:]:
+                var = q >> 1
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(q ^ 1)
+                    if self.level[var] >= cur_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+                        if self.level[var] > bt_level:
+                            bt_level = self.level[var]
+            while not seen[self.trail[index] >> 1]:
+                index -= 1
+            p = self.trail[index]
+            index -= 1
+            var = p >> 1
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                break
+            confl = self.reason[var]
+        learnt[0] = p ^ 1
+        original = learnt
+        if self.minimize_learned and len(learnt) > 2:
+            learnt = self._minimize(learnt, seen)
+            # Minimization may have removed the literal that defined the
+            # backjump level; recompute it from the survivors.
+            bt_level = max((self.level[q >> 1] for q in learnt[1:]), default=0)
+        for q in original[1:]:
+            seen[q >> 1] = False
+        return learnt, bt_level
+
+    def _minimize(self, learnt: List[int], seen: List[bool]) -> List[int]:
+        """Local (non-recursive) clause minimization: drop literals whose
+        reason clause is entirely inside the learnt clause or at level 0."""
+        kept = [learnt[0]]
+        for q in learnt[1:]:
+            reason_ci = self.reason[q >> 1]
+            if reason_ci == _NO_REASON:
+                kept.append(q)
+                continue
+            clause = self.clauses[reason_ci]
+            redundant = all((r >> 1) == (q >> 1) or seen[r >> 1]
+                            or self.level[r >> 1] == 0 for r in clause)
+            if not redundant:
+                kept.append(q)
+        return kept
+
+    def _record_learnt(self, learnt: List[int], bt_level: int) -> None:
+        if self.proof is not None:
+            self.proof.add([_dimacs(l) for l in learnt])
+        self._cancel_until(bt_level)
+        if len(learnt) == 1:
+            if not self._enqueue(learnt[0], _NO_REASON):
+                self.ok = False
+            return
+        # Watch the asserting literal and one literal from bt_level so that
+        # backtracking wakes the clause correctly.
+        for k in range(2, len(learnt)):
+            if self.level[learnt[k] >> 1] > self.level[learnt[1] >> 1]:
+                learnt[1], learnt[k] = learnt[k], learnt[1]
+        ci = self._attach_clause(learnt, learnt=True)
+        self._enqueue(learnt[0], ci)
+
+    def _decay_activities(self) -> None:
+        self.var_inc /= self.var_decay
+        self.cla_inc /= self.clause_decay
+        if self.cla_inc > 1e100:
+            for ci in self.clause_activity:
+                self.clause_activity[ci] *= 1e-100
+            self.cla_inc *= 1e-100
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+
+    def _pick_branch(self) -> Optional[int]:
+        heap = self.heap
+        values = self.values
+        lit = None
+        while heap:
+            neg_act, cand = heappop(heap)
+            if values[cand >> 1] == _UNASSIGNED \
+                    and -neg_act == self.activity[cand]:
+                lit = cand
+                break
+        if lit is None:
+            # Heap exhausted: any still-unassigned variable.
+            for var in range(1, self.num_vars + 1):
+                if values[var] == _UNASSIGNED:
+                    lit = 2 * var
+                    break
+        if lit is None:
+            return None
+        if self.phase_saving:
+            var = lit >> 1
+            lit = 2 * var + (0 if self._saved_phase[var] == 1 else 1)
+        return lit
+
+    # ------------------------------------------------------------------
+    # Main search loop
+    # ------------------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = (),
+              limits: Optional[Limits] = None) -> SolverResult:
+        """Solve under optional DIMACS-literal assumptions.
+
+        Returns :data:`~repro.result.UNKNOWN` if a limit in ``limits`` is
+        exhausted first.
+        """
+        start = time.perf_counter()
+        stats0 = self.stats.copy()
+        limits = limits or Limits()
+        assume = [_ilit(a) for a in assumptions]
+        self._cancel_until(0)
+        status = self._search(assume, limits, start)
+        model = None
+        if status == SAT:
+            model = {v: bool(self.values[v]) for v in range(1, self.num_vars + 1)
+                     if self.values[v] != _UNASSIGNED}
+        self._cancel_until(0)
+        return SolverResult(status=status, model=model,
+                            stats=self.stats.delta_since(stats0),
+                            time_seconds=time.perf_counter() - start)
+
+    def _search(self, assume: List[int], limits: Limits, start: float) -> str:
+        if not self.ok:
+            return UNSAT
+        conflicts_at_entry = self.stats.conflicts
+        restart_limit = self.restart_first
+        conflicts_since_restart = 0
+        while True:
+            confl = self._propagate()
+            if confl is not None:
+                self.stats.conflicts += 1
+                conflicts_since_restart += 1
+                if self.decision_level == 0:
+                    self.ok = False
+                    if self.proof is not None:
+                        self.proof.add([])
+                    return UNSAT
+                if self.decision_level <= len(assume):
+                    # Conflict depends only on assumptions: UNSAT under them.
+                    return UNSAT
+                learnt, bt_level = self._analyze(confl)
+                self._record_learnt(learnt, bt_level)
+                if not self.ok:
+                    return UNSAT
+                self._decay_activities()
+                if (self.stats.conflicts & 1023) == 0:
+                    if (limits.max_conflicts is not None
+                            and self.stats.conflicts - conflicts_at_entry
+                            >= limits.max_conflicts):
+                        return UNKNOWN
+                    if (limits.max_seconds is not None
+                            and time.perf_counter() - start >= limits.max_seconds):
+                        return UNKNOWN
+                continue
+            if (limits.max_conflicts is not None
+                    and self.stats.conflicts - conflicts_at_entry
+                    >= limits.max_conflicts):
+                return UNKNOWN
+            if (limits.max_seconds is not None
+                    and time.perf_counter() - start >= limits.max_seconds):
+                return UNKNOWN
+            if (limits.max_decisions is not None
+                    and self.stats.decisions >= limits.max_decisions):
+                return UNKNOWN
+            if conflicts_since_restart >= restart_limit:
+                conflicts_since_restart = 0
+                if self.restart_strategy == "luby":
+                    restart_limit = self.restart_first * _luby(self._luby_index)
+                    self._luby_index += 1
+                else:
+                    restart_limit = int(restart_limit * self.restart_factor)
+                self.stats.restarts += 1
+                self._cancel_until(len(assume))
+                continue
+            if len(self.learnt_idx) > self.max_learnts:
+                self._reduce_db()
+                self.max_learnts *= 1.1
+            # Next decision: pending assumptions first.
+            next_lit = None
+            while self.decision_level < len(assume):
+                a = assume[self.decision_level]
+                val = self.lit_value(a)
+                if val == 1:
+                    self._new_decision_level()  # already true: dummy level
+                elif val == 0:
+                    return UNSAT  # assumption conflicts with forced value
+                else:
+                    next_lit = a
+                    break
+            if next_lit is None:
+                next_lit = self._pick_branch()
+            if next_lit is None:
+                return SAT
+            self.stats.decisions += 1
+            self._new_decision_level()
+            if self.decision_level > self.stats.max_decision_level:
+                self.stats.max_decision_level = self.decision_level
+            self._enqueue(next_lit, _NO_REASON)
+
+
+def solve_formula(formula: CnfFormula,
+                  limits: Optional[Limits] = None,
+                  **solver_kwargs) -> SolverResult:
+    """One-shot convenience wrapper: build a solver and solve."""
+    return CnfSolver(formula, **solver_kwargs).solve(limits=limits)

@@ -1,0 +1,7 @@
+"""High-level API: circuit solving and equivalence checking."""
+
+from .solver import CircuitSolver, check_equivalence, solve_circuit
+from .sweep import SweepResult, sat_sweep
+
+__all__ = ["CircuitSolver", "check_equivalence", "solve_circuit",
+           "SweepResult", "sat_sweep"]

@@ -1,0 +1,16 @@
+"""C-SAT: the circuit-based CDCL solver with correlation-guided learning."""
+
+from .engine import CSatEngine
+from .explicit import (ExplicitReport, SubProblem, build_subproblems,
+                       order_subproblems, run_explicit_learning)
+from .frame import Frame
+from .implicit import attach_implicit_learning
+from .options import (ORDER_RANDOM, ORDER_REVERSE, ORDER_TOPOLOGICAL,
+                      SolverOptions, preset)
+
+__all__ = [
+    "CSatEngine", "Frame", "SolverOptions", "preset",
+    "ORDER_RANDOM", "ORDER_REVERSE", "ORDER_TOPOLOGICAL",
+    "ExplicitReport", "SubProblem", "build_subproblems", "order_subproblems",
+    "run_explicit_learning", "attach_implicit_learning",
+]

@@ -1,0 +1,65 @@
+"""Per-timeframe dynamic solver state (the paper's "FRAME" objects).
+
+The paper notes (Section IV-A) that its data structures were "designed for
+later extension to the sequential domain": dynamic information valid within
+one time frame lives in a FRAME object, so that sequential time-frame
+expansion can allocate one frame per cycle.  We keep that shape: everything
+the search mutates per-signal — values, levels, reasons, trail bookkeeping —
+lives in a :class:`Frame`, and the engine addresses all of it through its
+frame.  A future sequential solver would hold a list of frames.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+UNASSIGNED = -1
+NO_REASON = -1
+
+
+class Frame:
+    """Dynamic (within-timeframe) assignment state for ``num_nodes`` signals.
+
+    Attributes
+    ----------
+    values
+        Per-node logic value: 0, 1 or :data:`UNASSIGNED`.
+    levels
+        Decision level at which each node was assigned.
+    reasons
+        Antecedent code per node: :data:`NO_REASON` for decisions and
+        assumptions, ``2*gate`` for a gate implication, ``2*ci + 1`` for an
+        implication by learned clause ``ci``.
+    trail_pos
+        Position of each node's assignment on the trail (valid while
+        assigned); used to orient implication-graph edges.
+    trail
+        Assignment order, as true literals (``2*node + (1 - value)``).
+    trail_lim
+        Trail length at the start of each decision level.
+    """
+
+    __slots__ = ("num_nodes", "values", "levels", "reasons", "trail_pos",
+                 "trail", "trail_lim", "qhead")
+
+    def __init__(self, num_nodes: int):
+        self.num_nodes = num_nodes
+        self.values: List[int] = [UNASSIGNED] * num_nodes
+        self.levels: List[int] = [0] * num_nodes
+        self.reasons: List[int] = [NO_REASON] * num_nodes
+        self.trail_pos: List[int] = [0] * num_nodes
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.qhead = 0
+
+    @property
+    def decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def reset(self) -> None:
+        """Clear every assignment (used between independent solve calls)."""
+        self.values = [UNASSIGNED] * self.num_nodes
+        self.reasons = [NO_REASON] * self.num_nodes
+        self.trail = []
+        self.trail_lim = []
+        self.qhead = 0

@@ -1,0 +1,30 @@
+"""Implicit correlation learning (paper Section IV, Algorithm IV.1).
+
+Implicit learning does not create sub-problems; it only reshapes the
+decision ordering inside the engine:
+
+* when BCP assigns a signal that has an unassigned correlated partner, the
+  partner is immediately selected as the next decision and given the value
+  most likely to *conflict* (opposite value for an ``=`` correlation, same
+  value for a ``!=`` correlation);
+* when VSIDS selects a signal correlated with constant 0, the decision value
+  is the one contradicting the likely constant.
+
+The engine implements the hooks; this module wires a discovered
+:class:`~repro.sim.correlation.CorrelationSet` into them.
+"""
+
+from __future__ import annotations
+
+from ..sim.correlation import CorrelationSet
+from .engine import CSatEngine
+
+
+def attach_implicit_learning(engine: CSatEngine,
+                             correlations: CorrelationSet) -> int:
+    """Feed correlation maps to an engine; returns the number of signals
+    that now participate in correlation-guided decisions."""
+    partner = correlations.partner_map()
+    const_corr = correlations.constant_map()
+    engine.set_correlations(partner, const_corr)
+    return len(set(partner) | set(const_corr))

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the :mod:`repro` package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class CircuitError(ReproError):
+    """Malformed circuit construction or access (bad literal, bad node, ...)."""
+
+
+class ParseError(ReproError):
+    """Malformed input file (.bench netlist or DIMACS CNF)."""
+
+    def __init__(self, message, line_no=None):
+        if line_no is not None:
+            message = "line {}: {}".format(line_no, message)
+        super().__init__(message)
+        self.line_no = line_no
+
+
+class SolverError(ReproError):
+    """Internal solver invariant violation or misuse of the solver API."""
+
+
+class ResourceLimitExceeded(ReproError):
+    """A solve() call exceeded a user-supplied conflict/decision/time budget."""

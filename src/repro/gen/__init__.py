@@ -1,0 +1,31 @@
+"""Workload generators: arithmetic, ECC, ALU, random, and the paper's
+benchmark stand-ins (ISCAS-85 miters, Velev-style SAT instances, scan-style
+shallow miters)."""
+
+from .alu import alu, priority_selector
+from .arith import (array_multiplier, carry_select_adder, comparator,
+                    csa_multiplier, ripple_adder, subtractor)
+from .arith2 import (barrel_shifter, booth_multiplier, carry_lookahead_adder)
+from .ecc import (hamming_checker, hamming_checker_alt, hamming_encoder,
+                  parity_chain, parity_tree)
+from .iscas import (catalog_names, circuit_by_name, cross_miter, equiv_miter,
+                    opt_miter)
+from .random_circuit import random_dag
+from .scan import (scan_catalog_names, scan_circuit_by_name, scan_equiv_miter,
+                   scan_like)
+from .velev import vliw_like
+
+__all__ = [
+    "alu", "priority_selector",
+    "array_multiplier", "carry_select_adder", "comparator", "csa_multiplier",
+    "ripple_adder", "subtractor",
+    "barrel_shifter", "booth_multiplier", "carry_lookahead_adder",
+    "hamming_checker", "hamming_checker_alt", "hamming_encoder",
+    "parity_chain", "parity_tree",
+    "catalog_names", "circuit_by_name", "cross_miter", "equiv_miter",
+    "opt_miter",
+    "random_dag",
+    "scan_catalog_names", "scan_circuit_by_name", "scan_equiv_miter",
+    "scan_like",
+    "vliw_like",
+]

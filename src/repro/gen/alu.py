@@ -1,0 +1,100 @@
+"""ALU / selector-style control-plus-datapath circuits.
+
+ISCAS-85's C3540 is an 8-bit ALU and C5315 a 9-bit ALU/selector; these
+generators provide circuits of that character: a datapath with several
+functional units multiplexed by opcode bits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..circuit.netlist import Circuit, FALSE, lit_not
+from ..errors import CircuitError
+from .arith import _full_adder
+
+
+def alu(width: int, name: Optional[str] = None) -> Circuit:
+    """``width``-bit ALU with eight operations selected by 3 opcode bits.
+
+    Operations: ADD, SUB, AND, OR, XOR, NOT-A, shift-left-A, pass-B; plus a
+    zero flag and carry-out — a C3540-flavoured mix of arithmetic and logic
+    sharing one output mux.
+    """
+    if width < 1:
+        raise CircuitError("ALU width must be >= 1")
+    c = Circuit(name or "alu{}".format(width))
+    a = [c.add_input("a{}".format(i)) for i in range(width)]
+    b = [c.add_input("b{}".format(i)) for i in range(width)]
+    op = [c.add_input("op{}".format(i)) for i in range(3)]
+
+    # Functional units.
+    add_bits: List[int] = []
+    carry = FALSE
+    for i in range(width):
+        s, carry = _full_adder(c, a[i], b[i], carry)
+        add_bits.append(s)
+    add_cout = carry
+
+    sub_bits: List[int] = []
+    carry = lit_not(FALSE)
+    for i in range(width):
+        s, carry = _full_adder(c, a[i], lit_not(b[i]), carry)
+        sub_bits.append(s)
+    sub_cout = carry
+
+    and_bits = [c.add_and(a[i], b[i]) for i in range(width)]
+    or_bits = [c.or_(a[i], b[i]) for i in range(width)]
+    xor_bits = [c.xor_(a[i], b[i]) for i in range(width)]
+    nota_bits = [lit_not(a[i]) for i in range(width)]
+    shl_bits = [FALSE] + a[:-1]
+    passb_bits = list(b)
+
+    units = [add_bits, sub_bits, and_bits, or_bits,
+             xor_bits, nota_bits, shl_bits, passb_bits]
+
+    # Opcode decode: one-hot select of eight units.
+    selects: List[int] = []
+    for code in range(8):
+        terms = [op[k] if (code >> k) & 1 else lit_not(op[k])
+                 for k in range(3)]
+        selects.append(c.and_many(terms))
+
+    result: List[int] = []
+    for i in range(width):
+        terms = [c.add_and(selects[u], units[u][i]) for u in range(8)]
+        result.append(c.or_many(terms))
+    for i, bit in enumerate(result):
+        c.add_output(bit, "r{}".format(i))
+    c.add_output(c.nor_(c.or_many(result), FALSE), "zero")
+    cout = c.or_(c.add_and(selects[0], add_cout),
+                 c.add_and(selects[1], sub_cout))
+    c.add_output(cout, "cout")
+    return c
+
+
+def priority_selector(width: int, channels: int = 4,
+                      name: Optional[str] = None) -> Circuit:
+    """Priority-encoded channel selector (C5315-flavoured).
+
+    ``channels`` request lines gate ``channels`` data buses of ``width``
+    bits; the highest-priority active channel drives the output bus, and a
+    ``valid`` flag reports whether any request was active.
+    """
+    if width < 1 or channels < 1:
+        raise CircuitError("width and channels must be >= 1")
+    c = Circuit(name or "sel{}x{}".format(channels, width))
+    req = [c.add_input("req{}".format(k)) for k in range(channels)]
+    buses = [[c.add_input("d{}_{}".format(k, i)) for i in range(width)]
+             for k in range(channels)]
+    # grant[k] = req[k] & ~req[0..k-1]
+    grants: List[int] = []
+    blocked = FALSE
+    for k in range(channels):
+        grants.append(c.add_and(req[k], lit_not(blocked)))
+        blocked = c.or_(blocked, req[k])
+    for i in range(width):
+        terms = [c.add_and(grants[k], buses[k][i]) for k in range(channels)]
+        c.add_output(c.or_many(terms), "y{}".format(i))
+    c.add_output(blocked, "valid")
+    return c

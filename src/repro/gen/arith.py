@@ -1,0 +1,185 @@
+"""Arithmetic circuit generators: adders, multipliers, comparators.
+
+These provide the datapath workloads behind the paper's ISCAS-85 stand-ins
+(DESIGN.md substitution 2).  Each generator returns a self-contained
+:class:`~repro.circuit.netlist.Circuit` with named inputs and outputs.  Where
+two structurally different implementations of the same function exist
+(ripple vs. carry-select adders, array vs. carry-save multipliers), mitering
+one against the other yields a natural unsatisfiable equivalence-checking
+instance that no structural matcher solves trivially.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..circuit.netlist import Circuit, FALSE, lit_not
+from ..errors import CircuitError
+
+
+def _full_adder(c: Circuit, a: int, b: int, cin: int) -> Tuple[int, int]:
+    """Sum and carry-out of a one-bit full adder."""
+    axb = c.xor_(a, b)
+    s = c.xor_(axb, cin)
+    carry = c.or_(c.add_and(a, b), c.add_and(axb, cin))
+    return s, carry
+
+
+def ripple_adder(width: int, name: Optional[str] = None,
+                 with_carry_in: bool = False) -> Circuit:
+    """``width``-bit ripple-carry adder: sum[width] plus carry-out."""
+    if width < 1:
+        raise CircuitError("adder width must be >= 1")
+    c = Circuit(name or "rca{}".format(width))
+    a = [c.add_input("a{}".format(i)) for i in range(width)]
+    b = [c.add_input("b{}".format(i)) for i in range(width)]
+    carry = c.add_input("cin") if with_carry_in else FALSE
+    for i in range(width):
+        s, carry = _full_adder(c, a[i], b[i], carry)
+        c.add_output(s, "s{}".format(i))
+    c.add_output(carry, "cout")
+    return c
+
+
+def carry_select_adder(width: int, block: int = 2,
+                       name: Optional[str] = None,
+                       with_carry_in: bool = False) -> Circuit:
+    """``width``-bit carry-select adder (same function as the ripple adder,
+    very different structure: each block is computed for both carry-in
+    values and multiplexed)."""
+    if width < 1:
+        raise CircuitError("adder width must be >= 1")
+    if block < 1:
+        raise CircuitError("block size must be >= 1")
+    c = Circuit(name or "csel{}".format(width))
+    a = [c.add_input("a{}".format(i)) for i in range(width)]
+    b = [c.add_input("b{}".format(i)) for i in range(width)]
+    carry = c.add_input("cin") if with_carry_in else FALSE
+    sums: List[int] = []
+    i = 0
+    while i < width:
+        hi = min(i + block, width)
+        # Compute the block twice: carry-in 0 and carry-in 1.
+        s0: List[int] = []
+        s1: List[int] = []
+        c0, c1 = FALSE, lit_not(FALSE)
+        for k in range(i, hi):
+            bit0, c0 = _full_adder(c, a[k], b[k], c0)
+            bit1, c1 = _full_adder(c, a[k], b[k], c1)
+            s0.append(bit0)
+            s1.append(bit1)
+        for bit0, bit1 in zip(s0, s1):
+            sums.append(c.mux_(carry, bit1, bit0))
+        carry = c.mux_(carry, c1, c0)
+        i = hi
+    for i, s in enumerate(sums):
+        c.add_output(s, "s{}".format(i))
+    c.add_output(carry, "cout")
+    return c
+
+
+def array_multiplier(width: int, name: Optional[str] = None) -> Circuit:
+    """``width x width`` unsigned array multiplier (the C6288 shape).
+
+    Rows of partial products are accumulated with ripple carry chains —
+    the classic combinational multiplier whose equivalence miters are
+    famously hard for CNF SAT solvers.
+    """
+    if width < 1:
+        raise CircuitError("multiplier width must be >= 1")
+    c = Circuit(name or "mult{}x{}".format(width, width))
+    a = [c.add_input("a{}".format(i)) for i in range(width)]
+    b = [c.add_input("b{}".format(i)) for i in range(width)]
+    # Accumulate row by row: acc holds bits i .. i+width-1 after row i.
+    acc: List[int] = [c.add_and(a[j], b[0]) for j in range(width)]
+    outs: List[int] = [acc[0]]
+    acc = acc[1:] + [FALSE]
+    for i in range(1, width):
+        row = [c.add_and(a[j], b[i]) for j in range(width)]
+        carry = FALSE
+        new_acc: List[int] = []
+        for j in range(width):
+            s, carry = _full_adder(c, acc[j], row[j], carry)
+            new_acc.append(s)
+        outs.append(new_acc[0])
+        acc = new_acc[1:] + [carry]
+    for bit in acc:
+        outs.append(bit)
+    for i, bit in enumerate(outs):
+        c.add_output(bit, "p{}".format(i))
+    return c
+
+
+def csa_multiplier(width: int, name: Optional[str] = None) -> Circuit:
+    """``width x width`` multiplier using carry-save accumulation and a
+    final ripple adder — functionally identical to
+    :func:`array_multiplier`, structurally very different."""
+    if width < 1:
+        raise CircuitError("multiplier width must be >= 1")
+    c = Circuit(name or "csamult{}x{}".format(width, width))
+    a = [c.add_input("a{}".format(i)) for i in range(width)]
+    b = [c.add_input("b{}".format(i)) for i in range(width)]
+    n_out = 2 * width
+    # Partial products per output column.
+    columns: List[List[int]] = [[] for _ in range(n_out)]
+    for i in range(width):
+        for j in range(width):
+            columns[i + j].append(c.add_and(a[j], b[i]))
+    # Carry-save reduction: repeatedly compress columns with full adders.
+    changed = True
+    while changed:
+        changed = False
+        for col in range(n_out):
+            while len(columns[col]) >= 3:
+                x = columns[col].pop()
+                y = columns[col].pop()
+                z = columns[col].pop()
+                s, carry = _full_adder(c, x, y, z)
+                columns[col].append(s)
+                if col + 1 < n_out:
+                    columns[col + 1].append(carry)
+                changed = True
+    # Final carry-propagate pass over the at-most-two leftover bits.
+    carry = FALSE
+    for col in range(n_out):
+        bits = columns[col] + [carry]
+        while len(bits) < 3:
+            bits.append(FALSE)
+        s, carry = _full_adder(c, bits[0], bits[1], bits[2])
+        c.add_output(s, "p{}".format(col))
+    return c
+
+
+def comparator(width: int, name: Optional[str] = None) -> Circuit:
+    """``width``-bit magnitude comparator with ``lt``/``eq``/``gt`` outputs."""
+    if width < 1:
+        raise CircuitError("comparator width must be >= 1")
+    c = Circuit(name or "cmp{}".format(width))
+    a = [c.add_input("a{}".format(i)) for i in range(width)]
+    b = [c.add_input("b{}".format(i)) for i in range(width)]
+    lt = FALSE
+    eq = lit_not(FALSE)
+    for i in range(width - 1, -1, -1):  # MSB first
+        bit_lt = c.add_and(lit_not(a[i]), b[i])
+        bit_eq = c.xnor_(a[i], b[i])
+        lt = c.or_(lt, c.add_and(eq, bit_lt))
+        eq = c.add_and(eq, bit_eq)
+    c.add_output(lt, "lt")
+    c.add_output(eq, "eq")
+    c.add_output(c.nor_(lt, eq), "gt")
+    return c
+
+
+def subtractor(width: int, name: Optional[str] = None) -> Circuit:
+    """``width``-bit subtractor (a - b) via two's complement addition."""
+    if width < 1:
+        raise CircuitError("subtractor width must be >= 1")
+    c = Circuit(name or "sub{}".format(width))
+    a = [c.add_input("a{}".format(i)) for i in range(width)]
+    b = [c.add_input("b{}".format(i)) for i in range(width)]
+    carry = lit_not(FALSE)  # +1 of the two's complement
+    for i in range(width):
+        s, carry = _full_adder(c, a[i], lit_not(b[i]), carry)
+        c.add_output(s, "d{}".format(i))
+    c.add_output(carry, "bout")
+    return c

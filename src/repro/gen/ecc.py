@@ -1,0 +1,156 @@
+"""Error-correcting-code style circuits: parity networks, Hamming codecs.
+
+ISCAS-85's C1355 and C1908 are 32-bit single-error-correcting circuits;
+these generators provide workloads with the same character — wide XOR
+networks with moderate depth and heavy reconvergent fanout.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..circuit.netlist import Circuit
+from ..errors import CircuitError
+
+
+def parity_tree(width: int, name: Optional[str] = None) -> Circuit:
+    """Balanced XOR (even-parity) tree over ``width`` inputs."""
+    if width < 1:
+        raise CircuitError("parity width must be >= 1")
+    c = Circuit(name or "parity{}".format(width))
+    bits = [c.add_input("x{}".format(i)) for i in range(width)]
+    c.add_output(c.xor_many(bits), "parity")
+    return c
+
+
+def parity_chain(width: int, name: Optional[str] = None) -> Circuit:
+    """Linear (chained) XOR over ``width`` inputs — same function as
+    :func:`parity_tree`, maximally different structure."""
+    if width < 1:
+        raise CircuitError("parity width must be >= 1")
+    c = Circuit(name or "paritychain{}".format(width))
+    bits = [c.add_input("x{}".format(i)) for i in range(width)]
+    acc = bits[0]
+    for bit in bits[1:]:
+        acc = c.xor_(acc, bit)
+    c.add_output(acc, "parity")
+    return c
+
+
+def _hamming_positions(data_bits: int) -> int:
+    """Number of parity bits for a Hamming code over ``data_bits``."""
+    r = 0
+    while (1 << r) < data_bits + r + 1:
+        r += 1
+    return r
+
+
+def hamming_encoder(data_bits: int, name: Optional[str] = None) -> Circuit:
+    """Hamming-code encoder: emits parity bits over the data inputs.
+
+    Parity bit ``p_i`` covers every codeword position whose index has bit
+    ``i`` set (the standard construction).
+    """
+    if data_bits < 1:
+        raise CircuitError("data width must be >= 1")
+    r = _hamming_positions(data_bits)
+    c = Circuit(name or "hamenc{}".format(data_bits))
+    data = [c.add_input("d{}".format(i)) for i in range(data_bits)]
+    # Place data bits at non-power-of-two codeword positions (1-based).
+    positions: List[int] = []
+    pos = 1
+    placed = 0
+    data_at = {}
+    while placed < data_bits:
+        if pos & (pos - 1):  # not a power of two
+            data_at[pos] = data[placed]
+            placed += 1
+        pos += 1
+    for i in range(r):
+        covered = [lit for p, lit in data_at.items() if p & (1 << i)]
+        c.add_output(c.xor_many(covered), "p{}".format(i))
+    for i, d in enumerate(data):
+        c.add_output(d, "q{}".format(i))
+    return c
+
+
+def hamming_checker(data_bits: int, name: Optional[str] = None) -> Circuit:
+    """Hamming-code syndrome checker plus single-bit corrector.
+
+    Inputs: received data and parity bits.  Outputs: corrected data bits
+    and an ``error`` flag.  This has the reconvergent, XOR-rich structure
+    of the ISCAS ECC circuits.
+    """
+    if data_bits < 1:
+        raise CircuitError("data width must be >= 1")
+    r = _hamming_positions(data_bits)
+    c = Circuit(name or "hamchk{}".format(data_bits))
+    data = [c.add_input("d{}".format(i)) for i in range(data_bits)]
+    parity = [c.add_input("p{}".format(i)) for i in range(r)]
+    data_at = {}
+    pos = 1
+    placed = 0
+    while placed < data_bits:
+        if pos & (pos - 1):
+            data_at[pos] = (placed, data[placed])
+            placed += 1
+        pos += 1
+    # Syndrome bits: recomputed parity XOR received parity.
+    syndrome = []
+    for i in range(r):
+        covered = [lit for p, (_, lit) in data_at.items() if p & (1 << i)]
+        syndrome.append(c.xor_(c.xor_many(covered), parity[i]))
+    c.add_output(c.or_many(syndrome), "error")
+    # Correct: flip data bit whose position equals the syndrome value.
+    for p, (idx, lit) in sorted(data_at.items()):
+        match_bits = [syndrome[i] if (p & (1 << i)) else
+                      c.not_(syndrome[i]) for i in range(r)]
+        at_fault = c.and_many(match_bits)
+        c.add_output(c.xor_(lit, at_fault), "c{}".format(idx))
+    return c
+
+
+def hamming_checker_alt(data_bits: int, name: Optional[str] = None) -> Circuit:
+    """Functionally identical to :func:`hamming_checker`, structurally
+    remote from it: syndromes are folded left-to-right as XOR chains and
+    the corrector is a balanced mux-style network instead of AND trees.
+
+    The real ISCAS-85 suite contains exactly this situation — C499 and
+    C1355 implement the same 32-bit SEC function with different gate-level
+    structure — and mitering the two variants reproduces it.
+    """
+    if data_bits < 1:
+        raise CircuitError("data width must be >= 1")
+    r = _hamming_positions(data_bits)
+    c = Circuit(name or "hamchkalt{}".format(data_bits))
+    data = [c.add_input("d{}".format(i)) for i in range(data_bits)]
+    parity = [c.add_input("p{}".format(i)) for i in range(r)]
+    data_at = {}
+    pos = 1
+    placed = 0
+    while placed < data_bits:
+        if pos & (pos - 1):
+            data_at[pos] = (placed, data[placed])
+            placed += 1
+        pos += 1
+    # Chained (left-fold) syndrome computation.
+    syndrome = []
+    for i in range(r):
+        acc = parity[i]
+        for p, (_, lit) in sorted(data_at.items()):
+            if p & (1 << i):
+                acc = c.xor_(acc, lit)
+        syndrome.append(acc)
+    # Error flag as a chain of ORs.
+    err = syndrome[0]
+    for s_bit in syndrome[1:]:
+        err = c.or_(err, s_bit)
+    c.add_output(err, "error")
+    # Correction: decode the syndrome with nested muxes per data bit.
+    for p, (idx, lit) in sorted(data_at.items()):
+        hit = 1  # TRUE
+        for i in range(r):
+            want = syndrome[i] if (p & (1 << i)) else c.not_(syndrome[i])
+            hit = c.add_and(want, hit) if i else want
+        c.add_output(c.mux_(hit, c.not_(lit), lit), "c{}".format(idx))
+    return c

@@ -1,0 +1,170 @@
+"""Scaled stand-ins for the ISCAS-85 circuits used in the paper.
+
+The paper's unsatisfiable benchmarks are equivalence-checking miters over
+ISCAS-85 circuits.  Those netlists are not shipped here, so each paper name
+maps to a generated circuit of the same functional character at a size a
+pure-Python solver can handle (DESIGN.md substitution 2):
+
+=========  =======================================  =============================
+paper      character                                stand-in
+=========  =======================================  =============================
+C1355      32-bit SEC ECC net (XOR-rich)            Hamming checker, 16 data bits
+C1908      16-bit SEC/DED ECC                       Hamming checker, 26 data bits
+C2670      ALU + comparator control                 20-bit magnitude comparator
+C3540      8-bit ALU with control                   8-bit, 8-op ALU
+C5315      9-bit ALU / data selector                priority selector, 6 ch x 10b
+C7552      32-bit adder/comparator                  adder feeding a comparator
+C6288      16x16 array multiplier                   7x7 array multiplier
+=========  =======================================  =============================
+
+Two instance families mirror the paper's:
+
+* ``equiv_miter(name)`` — two *identical* copies mitered (``circuit.equiv``);
+* ``opt_miter(name)``   — the circuit against a rewriter-optimized copy
+  (``circuit.opt``, with :func:`repro.circuit.rewrite.optimize` standing in
+  for Design Compiler).
+
+Both are unsatisfiable by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..circuit.netlist import Circuit
+from ..circuit.miter import miter, miter_identical
+from ..circuit.rewrite import optimize
+from ..errors import CircuitError
+from .alu import alu, priority_selector
+from .arith import _full_adder, array_multiplier, comparator
+from .ecc import hamming_checker, hamming_checker_alt
+
+
+def c432_like() -> Circuit:
+    """Priority/interrupt-controller flavour (C432 is a 27-channel
+    interrupt controller): priority selection plus parity monitoring."""
+    c = priority_selector(9, channels=4, name="c432")
+    return c
+
+
+def c499_like() -> Circuit:
+    """C499 is the XOR-level twin of C1355 (same 32-bit SEC function,
+    different structure); this stand-in mirrors that relationship with
+    :func:`c1355_like` via an alternative Hamming-checker implementation."""
+    return hamming_checker_alt(16, name="c499")
+
+
+def c1355_like() -> Circuit:
+    c = hamming_checker(16, name="c1355")
+    return c
+
+
+def c1908_like() -> Circuit:
+    return hamming_checker(26, name="c1908")
+
+
+def c2670_like() -> Circuit:
+    c = comparator(20, name="c2670")
+    return c
+
+
+def c3540_like() -> Circuit:
+    return alu(8, name="c3540")
+
+
+def c5315_like() -> Circuit:
+    return priority_selector(10, channels=6, name="c5315")
+
+
+def c7552_like() -> Circuit:
+    """Adder feeding a magnitude comparator (C7552's adder/comparator mix)."""
+    width = 16
+    c = Circuit("c7552")
+    a = [c.add_input("a{}".format(i)) for i in range(width)]
+    b = [c.add_input("b{}".format(i)) for i in range(width)]
+    d = [c.add_input("d{}".format(i)) for i in range(width)]
+    sums: List[int] = []
+    carry = 0  # FALSE
+    for i in range(width):
+        s, carry = _full_adder(c, a[i], b[i], carry)
+        sums.append(s)
+    # Compare (a + b) against d, MSB-first priority scan.
+    lt = 0
+    eq = 1  # TRUE
+    for i in range(width - 1, -1, -1):
+        bit_lt = c.add_and(c.not_(sums[i]), d[i])
+        lt = c.or_(lt, c.add_and(eq, bit_lt))
+        eq = c.add_and(eq, c.xnor_(sums[i], d[i]))
+    for i, s in enumerate(sums):
+        c.add_output(s, "s{}".format(i))
+    c.add_output(carry, "cout")
+    c.add_output(lt, "lt")
+    c.add_output(eq, "eq")
+    return c
+
+
+def c6288_like(width: int = 7) -> Circuit:
+    """The multiplier (C6288) stand-in; ``width`` defaults to 7x7."""
+    c = array_multiplier(width, name="c6288")
+    return c
+
+
+_CATALOG: Dict[str, Callable[[], Circuit]] = {
+    "c432": c432_like,
+    "c499": c499_like,
+    "c1355": c1355_like,
+    "c1908": c1908_like,
+    "c2670": c2670_like,
+    "c3540": c3540_like,
+    "c5315": c5315_like,
+    "c6288": c6288_like,
+    "c7552": c7552_like,
+}
+
+
+def catalog_names() -> List[str]:
+    """Paper circuit names with stand-ins available."""
+    return sorted(_CATALOG)
+
+
+def circuit_by_name(name: str) -> Circuit:
+    """Build the stand-in circuit for a paper name (e.g. ``"c6288"``)."""
+    try:
+        builder = _CATALOG[name.lower()]
+    except KeyError:
+        raise CircuitError("unknown circuit {!r}; known: {}".format(
+            name, ", ".join(catalog_names())))
+    return builder()
+
+
+def equiv_miter(name: str, style: str = "or") -> Circuit:
+    """The ``circuit.equiv`` instance: two identical copies mitered."""
+    base = circuit_by_name(name)
+    m = miter_identical(base, style=style)
+    m.name = name + ".equiv"
+    return m
+
+
+def cross_miter(left_name: str, right_name: str,
+                style: str = "or") -> Circuit:
+    """Miter of two *different* catalog implementations of one function.
+
+    The flagship pair is ``cross_miter("c499", "c1355")`` — the ISCAS
+    suite's own famous functional twins.  Interfaces must match by input
+    names and output order.
+    """
+    left = circuit_by_name(left_name)
+    right = circuit_by_name(right_name)
+    m = miter(left, right, style=style)
+    m.name = "{}_vs_{}.equiv".format(left_name, right_name)
+    return m
+
+
+def opt_miter(name: str, seed: int = 0, style: str = "or",
+              rounds: int = 2) -> Circuit:
+    """The ``circuit.opt`` instance: circuit vs. rewriter-optimized copy."""
+    base = circuit_by_name(name)
+    opt = optimize(base, seed=seed, rounds=rounds)
+    m = miter(base, opt, style=style)
+    m.name = name + ".opt"
+    return m

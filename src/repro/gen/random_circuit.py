@@ -1,0 +1,36 @@
+"""Seeded random DAG circuits, for fuzzing and filler workloads."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..circuit.netlist import Circuit
+from ..errors import CircuitError
+
+
+def random_dag(num_inputs: int, num_gates: int, num_outputs: int = 1,
+               seed: int = 0, locality: int = 12,
+               name: Optional[str] = None) -> Circuit:
+    """A random AND-inverter DAG.
+
+    Gates prefer recent fanins (within ``locality`` previously created
+    literals) so the circuit develops depth instead of collapsing into a
+    wide two-level net.  Outputs are drawn from the last-created gates.
+    Deterministic in ``seed``.
+    """
+    if num_inputs < 1 or num_gates < 0 or num_outputs < 1:
+        raise CircuitError("invalid random_dag parameters")
+    rng = random.Random(seed)
+    c = Circuit(name or "rand{}g{}s{}".format(num_inputs, num_gates, seed))
+    lits = [c.add_input("x{}".format(i)) for i in range(num_inputs)]
+    for _ in range(num_gates):
+        lo = max(0, len(lits) - locality)
+        a = lits[rng.randrange(lo, len(lits))] ^ rng.randint(0, 1)
+        b = lits[rng.randrange(len(lits))] ^ rng.randint(0, 1)
+        lits.append(c.add_and(a, b))
+    pool = lits[-max(num_outputs, min(len(lits), 2 * num_outputs)):]
+    for i in range(num_outputs):
+        c.add_output(pool[rng.randrange(len(pool))] ^ rng.randint(0, 1),
+                     "y{}".format(i))
+    return c

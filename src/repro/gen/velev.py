@@ -1,0 +1,137 @@
+"""Velev-style satisfiable verification instances (the ``9Vliw*`` stand-ins).
+
+The paper's satisfiable benchmarks come from M. Velev's VLIW microprocessor
+verification suite, which it describes as "part ... multi-level circuit, and
+part ... in CNF form".  That mixed structure is exactly what drives the
+paper's observations on SAT cases (implicit learning still helps somewhat;
+explicit learning degrades to parity because the CNF part carries no useful
+topology), so the stand-in preserves it (DESIGN.md substitution 4):
+
+1. a multi-level *datapath core*: an ALU mitered against an optimized copy
+   carrying one injected design bug, so counterexamples exist — this part
+   has real topology and real internal signal correlations;
+2. a flat *CNF part*: a doubly-planted random 3-SAT formula over fresh
+   control variables, rendered as the 2-level OR-AND netlist a CNF input
+   turns into.  Double planting (every clause satisfied by a hidden witness
+   *and* its complement) keeps literal-polarity statistics unbiased, so the
+   instances stay genuinely hard — unlike naive planted formulas;
+3. *bridge clauses* coupling core inputs into the CNF part, each anchored on
+   a literal true under the core's counterexample so satisfiability is
+   preserved by construction.
+
+The single output asks for an input that exposes the core bug and satisfies
+every CNF clause; one such assignment exists by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..circuit.netlist import Circuit, lit_not
+from ..circuit.miter import miter
+from ..circuit.rewrite import optimize
+from ..circuit.topo import append_circuit
+from ..errors import CircuitError
+from ..sim.bitsim import simulate_words
+from .alu import alu
+
+
+def _inject_bug(circuit: Circuit, rng: random.Random) -> Circuit:
+    """A copy of ``circuit`` with one mid-cone gate fanin inverted."""
+    out = circuit.copy(circuit.name + ".bug")
+    and_nodes = [n for n in out.and_nodes()]
+    if not and_nodes:
+        raise CircuitError("cannot inject a bug into a gate-free circuit")
+    # Pick a gate in the middle third so the bug is neither trivially
+    # visible nor unobservable.  Avoid gates whose pins share a node: a
+    # flipped attribute there would create a degenerate AND(x, x) gate.
+    lo = len(and_nodes) // 3
+    hi = max(lo + 1, 2 * len(and_nodes) // 3)
+    for _ in range(50):
+        victim = and_nodes[rng.randrange(lo, hi)]
+        if (out.fanin0(victim) >> 1) != (out.fanin1(victim) >> 1):
+            break
+    else:
+        raise CircuitError("no suitable bug-injection site found")
+    out._fanin0[victim] ^= 1  # flip the inverter attribute
+    out._strash_table.clear()  # structure changed; invalidate hashing
+    return out
+
+
+def _buggy_core_with_witness(index: int, width: int, rng: random.Random):
+    """Build the buggy-ALU miter and one input pattern that exposes the bug."""
+    core = alu(width, name="vliw_core{}".format(index))
+    for _attempt in range(20):
+        buggy = optimize(_inject_bug(core, rng), seed=rng.randrange(1 << 30),
+                         rounds=1)
+        m = miter(core, buggy)
+        words = [rng.getrandbits(64) for _ in m.inputs]
+        vals = simulate_words(m, words, 64)
+        o = m.outputs[0]
+        w = vals[o >> 1] ^ (((1 << 64) - 1) if (o & 1) else 0)
+        if w:
+            bit = (w & -w).bit_length() - 1
+            witness = {pi: bool((words[k] >> bit) & 1)
+                       for k, pi in enumerate(m.inputs)}
+            return m, witness
+    raise CircuitError("failed to build a satisfiable VLIW instance "
+                       "(bug never observable)")
+
+
+def _doubly_planted_clause(rng: random.Random, wit: List[bool],
+                           num_vars: int) -> List[int]:
+    """One 3-literal clause (as (var, neg) codes) satisfied by the planted
+    witness and by its complement."""
+    while True:
+        vs = rng.sample(range(num_vars), 3)
+        lits = [(v, rng.random() < 0.5) for v in vs]
+        truths = [wit[v] ^ neg for v, neg in lits]
+        if any(truths) and not all(truths):
+            return lits
+
+
+def vliw_like(index: int, width: int = 6,
+              cnf_vars: int = 160, cnf_density: float = 5.3,
+              bridge_density: float = 0.5,
+              name: Optional[str] = None) -> Circuit:
+    """Build the ``index``-th satisfiable VLIW-style instance.
+
+    ``width`` sets the datapath width; ``cnf_vars`` and ``cnf_density``
+    size the flat CNF part (the hardness driver); ``bridge_density`` scales
+    the clauses mixing core inputs with CNF variables.  Deterministic in
+    ``index``.
+    """
+    rng = random.Random(10_007 * (index + 1))
+    core_miter, witness = _buggy_core_with_witness(index, width, rng)
+
+    out = Circuit(name or "9vliw{:03d}".format(index))
+    pi_lits: Dict[int, int] = {pi: out.add_input(core_miter.name_of(pi))
+                               for pi in core_miter.inputs}
+    ctrl = [out.add_input("ctl{}".format(i)) for i in range(cnf_vars)]
+    mmap = append_circuit(out, core_miter, pi_lits, raw=True)
+    miter_lit = mmap[core_miter.outputs[0] >> 1] ^ (core_miter.outputs[0] & 1)
+
+    # The CNF part: doubly-planted 3-SAT over the control variables,
+    # realized as the flat OR-AND netlist a CNF-formatted input becomes.
+    cnf_wit = [rng.random() < 0.5 for _ in range(cnf_vars)]
+    clause_lits: List[int] = []
+    for _ in range(int(cnf_density * cnf_vars)):
+        lits = [ctrl[v] ^ (1 if neg else 0)
+                for v, neg in _doubly_planted_clause(rng, cnf_wit, cnf_vars)]
+        clause_lits.append(out.or_many(lits))
+
+    # Bridge clauses: (core literal true under the bug witness) OR two
+    # control literals — couple the halves without risking satisfiability.
+    core_pis = list(core_miter.inputs)
+    for _ in range(int(bridge_density * cnf_vars)):
+        pi = core_pis[rng.randrange(len(core_pis))]
+        anchor = pi_lits[pi] ^ (0 if witness[pi] else 1)
+        x1, x2 = rng.sample(range(cnf_vars), 2)
+        clause_lits.append(out.or_many(
+            [anchor, ctrl[x1] ^ rng.randint(0, 1),
+             ctrl[x2] ^ rng.randint(0, 1)]))
+
+    side = out.and_many(clause_lits) if clause_lits else 1
+    out.add_output(out.add_and(miter_lit, side), "sat")
+    return out

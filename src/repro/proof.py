@@ -1,0 +1,144 @@
+"""DRUP proof logging and checking.
+
+Both solvers can emit DRUP-style unsatisfiability proofs: the sequence of
+learned clauses (each being RUP — *reverse unit propagation* — with respect
+to everything before it), clause deletions, and a final empty clause.
+:func:`check_drup` replays a proof against the original formula with an
+independent unit propagator, so an UNSAT answer can be trusted without
+trusting the solver.
+
+For the circuit solver the original formula is the Tseitin encoding of the
+circuit plus the objective units (``var = node + 1``); its learned gates
+translate literal-for-literal, which makes the circuit engine's reasoning
+checkable by pure CNF machinery — a strong cross-validation of the gate
+BCP, the implication-graph reconstruction and the 1UIP analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .cnf.formula import CnfFormula
+
+ADD = "a"
+DELETE = "d"
+
+
+@dataclass
+class ProofLog:
+    """An append-only DRUP proof: ('a'|'d', clause-in-DIMACS-literals)."""
+
+    steps: List[Tuple[str, Tuple[int, ...]]] = field(default_factory=list)
+    complete: bool = False  # an empty 'a' step was recorded
+
+    def add(self, dimacs_lits: Sequence[int]) -> None:
+        self.steps.append((ADD, tuple(dimacs_lits)))
+        if not dimacs_lits:
+            self.complete = True
+
+    def delete(self, dimacs_lits: Sequence[int]) -> None:
+        self.steps.append((DELETE, tuple(dimacs_lits)))
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def to_text(self) -> str:
+        """Standard DRUP text ('d' prefix for deletions, 0-terminated)."""
+        lines = []
+        for kind, lits in self.steps:
+            prefix = "d " if kind == DELETE else ""
+            lines.append(prefix + " ".join(str(l) for l in lits) + " 0")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _propagate(clauses: List[Optional[List[int]]],
+               assignment: dict) -> bool:
+    """Naive unit propagation to fixpoint; True iff a conflict arises.
+
+    ``assignment`` maps var -> bool and is extended in place.  Quadratic
+    and proudly so: the checker must be simple enough to trust.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for clause in clauses:
+            if clause is None:
+                continue
+            unassigned = None
+            n_unassigned = 0
+            satisfied = False
+            for lit in clause:
+                var = abs(lit)
+                if var in assignment:
+                    if assignment[var] == (lit > 0):
+                        satisfied = True
+                        break
+                else:
+                    unassigned = lit
+                    n_unassigned += 1
+            if satisfied:
+                continue
+            if n_unassigned == 0:
+                return True  # conflict
+            if n_unassigned == 1:
+                assignment[abs(unassigned)] = unassigned > 0
+                changed = True
+    return False
+
+
+def _is_rup(clauses: List[Optional[List[int]]],
+            clause: Sequence[int]) -> bool:
+    """Is ``clause`` derivable by reverse unit propagation?"""
+    assignment = {}
+    for lit in clause:
+        var = abs(lit)
+        value = lit < 0  # assume the negation of the clause
+        if var in assignment and assignment[var] != value:
+            return True  # clause contains x and ~x: tautology, trivially RUP
+        assignment[var] = value
+    return _propagate(clauses, assignment)
+
+
+@dataclass
+class ProofCheckResult:
+    ok: bool
+    steps_checked: int = 0
+    reason: str = ""
+
+
+def check_drup(formula: CnfFormula, proof: ProofLog,
+               require_empty: bool = True) -> ProofCheckResult:
+    """Verify a DRUP proof against a formula.
+
+    Every added clause must be RUP with respect to the original clauses
+    plus previously added (and not yet deleted) proof clauses; with
+    ``require_empty`` the proof must end by deriving the empty clause
+    (i.e. actually establish unsatisfiability).
+    """
+    db: List[Optional[List[int]]] = [list(c) for c in formula.clauses]
+    live = {}
+    for index, (kind, lits) in enumerate(proof.steps):
+        clause = list(lits)
+        if kind == ADD:
+            if not _is_rup(db, clause):
+                return ProofCheckResult(
+                    False, index,
+                    "step {}: clause {} is not RUP".format(index, clause))
+            if not clause:
+                return ProofCheckResult(True, index + 1)
+            db.append(clause)
+            live.setdefault(tuple(sorted(clause)), []).append(len(db) - 1)
+        else:
+            key = tuple(sorted(clause))
+            slots = live.get(key)
+            if slots:
+                db[slots.pop()] = None
+            # Deleting an unknown clause is tolerated (solvers may delete
+            # original clauses the checker chose to keep): soundness is
+            # unaffected, only completeness of later RUP checks could be,
+            # and then the check fails loudly.
+    if require_empty:
+        return ProofCheckResult(False, len(proof.steps),
+                                "proof never derives the empty clause")
+    return ProofCheckResult(True, len(proof.steps))

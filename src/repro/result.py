@@ -1,0 +1,108 @@
+"""Common result and statistics types shared by both solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+SAT = "SAT"
+UNSAT = "UNSAT"
+UNKNOWN = "UNKNOWN"
+
+
+@dataclass
+class SolverStats:
+    """Search-effort counters.
+
+    Wall time on 2026 Python is not comparable to the paper's 2003 C++ on a
+    Pentium-3, so the benchmark harness reports these counters alongside
+    time; relative comparisons between solver configurations use both.
+    """
+
+    decisions: int = 0
+    conflicts: int = 0
+    propagations: int = 0
+    learned_clauses: int = 0
+    learned_literals: int = 0
+    deleted_clauses: int = 0
+    restarts: int = 0
+    max_decision_level: int = 0
+    # Circuit-solver extras.
+    implications: int = 0          # gate-level implications (circuit BCP)
+    jnode_decisions: int = 0
+    correlation_decisions: int = 0
+    subproblems_solved: int = 0    # explicit learning
+    subproblems_unsat: int = 0
+    subproblem_conflicts: int = 0
+
+    def merge(self, other: "SolverStats") -> None:
+        """Accumulate another stats block into this one (max for levels)."""
+        for name in ("decisions", "conflicts", "propagations",
+                     "learned_clauses", "learned_literals", "deleted_clauses",
+                     "restarts", "implications", "jnode_decisions",
+                     "correlation_decisions", "subproblems_solved",
+                     "subproblems_unsat", "subproblem_conflicts"):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.max_decision_level = max(self.max_decision_level,
+                                      other.max_decision_level)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+    def copy(self) -> "SolverStats":
+        return SolverStats(**self.__dict__)
+
+    def delta_since(self, before: "SolverStats") -> "SolverStats":
+        """Counters accumulated since ``before`` (a prior copy of self)."""
+        d = SolverStats()
+        for name in self.__dict__:
+            if name == "max_decision_level":
+                continue
+            setattr(d, name, getattr(self, name) - getattr(before, name))
+        d.max_decision_level = self.max_decision_level
+        return d
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a solve() call.
+
+    ``status`` is one of :data:`SAT`, :data:`UNSAT`, :data:`UNKNOWN` (budget
+    exhausted).  For SAT answers ``model`` maps variables (CNF solver) or
+    node ids (circuit solver) to booleans for everything assigned; callers
+    may complete unassigned inputs arbitrarily.
+    """
+
+    status: str
+    model: Optional[Dict[int, bool]] = None
+    stats: SolverStats = field(default_factory=SolverStats)
+    time_seconds: float = 0.0
+    sim_seconds: float = 0.0  # correlation-discovery time (reported separately,
+    #                           as the paper's "Simulation" columns do)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == UNSAT
+
+    def __repr__(self) -> str:
+        return ("SolverResult({}, {:.3f}s, decisions={}, conflicts={})"
+                .format(self.status, self.time_seconds, self.stats.decisions,
+                        self.stats.conflicts))
+
+
+@dataclass
+class Limits:
+    """Resource budget for one solve() call.
+
+    ``None`` means unlimited.  When a budget is hit the solver returns a
+    result with status :data:`UNKNOWN` (mirroring the paper's 7200-second
+    aborts, marked ``*`` in its tables).
+    """
+
+    max_conflicts: Optional[int] = None
+    max_decisions: Optional[int] = None
+    max_seconds: Optional[float] = None

@@ -1,0 +1,13 @@
+"""Word-parallel random simulation and signal-correlation discovery."""
+
+from .bitsim import (DEFAULT_WIDTH, circuits_equivalent_exhaustive,
+                     exhaustive_input_words, output_words, random_input_words,
+                     simulate_random, simulate_words, truth_tables)
+from .correlation import CorrelationSet, find_correlations
+
+__all__ = [
+    "DEFAULT_WIDTH", "circuits_equivalent_exhaustive",
+    "exhaustive_input_words", "output_words", "random_input_words",
+    "simulate_random", "simulate_words", "truth_tables",
+    "CorrelationSet", "find_correlations",
+]

@@ -1,0 +1,131 @@
+"""Word-parallel logic simulation.
+
+The paper (Section III) simulates 32 random input assignments at a time using
+one machine word per signal.  Here each signal's values are packed into a
+Python integer of ``width`` bits (default 64), and gates are evaluated with
+bitwise operations over the whole word — the classic parallel-pattern
+simulation of Abramovici/Breuer/Friedman.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..circuit.netlist import Circuit
+from ..errors import CircuitError
+
+DEFAULT_WIDTH = 64
+
+
+def simulate_words(circuit: Circuit,
+                   input_words: Union[Dict[int, int], Sequence[int]],
+                   width: int = DEFAULT_WIDTH) -> List[int]:
+    """Simulate ``width`` patterns at once.
+
+    ``input_words`` supplies one integer per primary input — either a mapping
+    from PI node id to word, or a sequence aligned with ``circuit.inputs``.
+    Bit ``k`` of every word belongs to pattern ``k``.  Returns one word per
+    node (index = node id).
+    """
+    mask = (1 << width) - 1
+    vals = [0] * circuit.num_nodes
+    if isinstance(input_words, dict):
+        items = input_words.items()
+    else:
+        if len(input_words) != circuit.num_inputs:
+            raise CircuitError("expected {} input words, got {}".format(
+                circuit.num_inputs, len(input_words)))
+        items = zip(circuit.inputs, input_words)
+    for node, word in items:
+        if not circuit.is_input(node):
+            raise CircuitError("node {} is not a primary input".format(node))
+        vals[node] = word & mask
+    for n in circuit.and_nodes():
+        f0, f1 = circuit.fanins(n)
+        a = vals[f0 >> 1] ^ (mask if (f0 & 1) else 0)
+        b = vals[f1 >> 1] ^ (mask if (f1 & 1) else 0)
+        vals[n] = a & b
+    return vals
+
+
+def output_words(circuit: Circuit, vals: Sequence[int],
+                 width: int = DEFAULT_WIDTH) -> List[int]:
+    """Extract primary output words from a node-value vector."""
+    mask = (1 << width) - 1
+    return [vals[o >> 1] ^ (mask if (o & 1) else 0) for o in circuit.outputs]
+
+
+def random_input_words(circuit: Circuit, rng: random.Random,
+                       width: int = DEFAULT_WIDTH) -> List[int]:
+    """One uniformly random word per primary input."""
+    return [rng.getrandbits(width) for _ in circuit.inputs]
+
+
+def simulate_random(circuit: Circuit, seed: int = 0,
+                    width: int = DEFAULT_WIDTH) -> List[int]:
+    """Simulate ``width`` uniformly random patterns (convenience wrapper)."""
+    rng = random.Random(seed)
+    return simulate_words(circuit, random_input_words(circuit, rng, width),
+                          width)
+
+
+def exhaustive_input_words(num_inputs: int) -> List[int]:
+    """Input words enumerating *all* assignments of ``num_inputs`` variables.
+
+    Pattern ``k`` (bit position ``k``) is the binary expansion of ``k``, so
+    simulating with these words yields each node's complete truth table as a
+    ``2**num_inputs``-bit integer.  Only sensible for small input counts.
+    """
+    if num_inputs > 20:
+        raise CircuitError("exhaustive simulation limited to 20 inputs")
+    n_patterns = 1 << num_inputs
+    words = []
+    for i in range(num_inputs):
+        # Bit k of word i is bit i of k: blocks of 2**i ones/zeros.
+        block = (1 << (1 << i)) - 1  # 2**i ones
+        period = 1 << (i + 1)
+        word = 0
+        pos = 1 << i
+        while pos < n_patterns:
+            word |= block << pos
+            pos += period
+        words.append(word)
+    return words
+
+
+def truth_tables(circuit: Circuit) -> List[int]:
+    """Complete truth table of every node (requires few inputs).
+
+    Returns one integer per node whose bit ``k`` is the node's value under
+    input assignment ``k`` (inputs numbered in ``circuit.inputs`` order, input
+    0 being the least significant bit of ``k``).
+    """
+    k = circuit.num_inputs
+    words = exhaustive_input_words(k)
+    return simulate_words(circuit, words, width=1 << k)
+
+
+def circuits_equivalent_exhaustive(left: Circuit, right: Circuit) -> bool:
+    """Exhaustively compare two small circuits output-for-output.
+
+    Inputs are matched by name when possible, else positionally.  Intended as
+    a test oracle, not as a verification engine.
+    """
+    if left.num_inputs != right.num_inputs or left.num_outputs != right.num_outputs:
+        return False
+    k = left.num_inputs
+    words = exhaustive_input_words(k)
+    width = 1 << k
+    lvals = simulate_words(left, words, width)
+    left_names = [left.name_of(pi) for pi in left.inputs]
+    right_names = [right.name_of(pi) for pi in right.inputs]
+    if (all(left_names) and all(right_names)
+            and set(left_names) == set(right_names)):
+        word_of = dict(zip(left_names, words))
+        right_in = [word_of[nm] for nm in right_names]
+    else:
+        right_in = words
+    rvals = simulate_words(right, right_in, width)
+    return (output_words(left, lvals, width)
+            == output_words(right, rvals, width))

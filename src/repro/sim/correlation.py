@@ -1,0 +1,173 @@
+"""Signal-correlation discovery by random simulation (paper Section III).
+
+Signals are partitioned into candidate *equivalence classes*: two signals
+land in the same class with phases recorded per member, so that one hashing
+pass discovers both ``s_i = s_j`` and ``s_i != s_j`` correlations.  The
+constant-0 node participates, so ``s_i = 0`` and ``s_i = 1`` correlations
+fall out of the same machinery ("pair-wise" correlations with the constant,
+in the paper's terms).
+
+Faithfully to Algorithm III.1:
+
+* refinement is done by hashing, so a round is near-linear in signal count;
+* simulation stops after ``stall_rounds`` (paper: 4) consecutive rounds that
+  refine nothing;
+* classes of size > ``max_class_size`` (paper: 3) that do *not* contain the
+  constant are dropped — a large surviving class usually just means random
+  simulation failed to distinguish its members, not that they correlate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.netlist import Circuit
+from .bitsim import DEFAULT_WIDTH, random_input_words, simulate_words
+
+
+@dataclass
+class CorrelationSet:
+    """Result of correlation discovery.
+
+    ``classes`` holds the surviving candidate equivalence classes.  Each
+    class is a list of ``(node, phase)`` sorted by node id (hence in
+    topological order); two members with equal phases are candidates for
+    ``=`` correlation, unequal phases for ``!=``.  The class containing the
+    constant node (if any) is first and encodes constant correlations.
+    """
+
+    classes: List[List[Tuple[int, int]]] = field(default_factory=list)
+    rounds: int = 0
+    patterns_simulated: int = 0
+    sim_seconds: float = 0.0
+
+    def constant_correlations(self) -> List[Tuple[int, int]]:
+        """``(node, likely_value)`` for signals correlated with a constant."""
+        result = []
+        for cls in self.classes:
+            nodes = [n for n, _ in cls]
+            if 0 not in nodes:
+                continue
+            const_phase = dict(cls)[0]
+            for node, phase in cls:
+                if node != 0:
+                    result.append((node, 0 if phase == const_phase else 1))
+        return result
+
+    def pair_correlations(self) -> List[Tuple[int, int, bool]]:
+        """Chained signal pairs ``(n_i, n_j, anti)`` with ``n_i < n_j``.
+
+        ``anti`` is True for ``n_i != n_j`` correlations.  Members of a class
+        are chained consecutively in topological order, which keeps the
+        number of sub-problems linear in class size while still linking every
+        member (the transitive closure is implied).  Constant classes yield
+        no pairs here; use :meth:`constant_correlations`.
+        """
+        pairs = []
+        for cls in self.classes:
+            if any(n == 0 for n, _ in cls):
+                continue
+            for (n1, p1), (n2, p2) in zip(cls, cls[1:]):
+                pairs.append((n1, n2, p1 != p2))
+        return pairs
+
+    def partner_map(self) -> Dict[int, Tuple[int, bool]]:
+        """For implicit learning: node -> (correlated partner, anti flag).
+
+        Each signal maps to its chained neighbour (the earlier one maps to
+        the later, and vice versa, so whichever is assigned first pulls in
+        the other).  Constant correlations are not included; those are
+        handled separately at decision time (Algorithm IV.1's second branch).
+        """
+        partner: Dict[int, Tuple[int, bool]] = {}
+        for n1, n2, anti in self.pair_correlations():
+            partner.setdefault(n1, (n2, anti))
+            partner.setdefault(n2, (n1, anti))
+        return partner
+
+    def constant_map(self) -> Dict[int, int]:
+        """node -> likely constant value, for decision-value selection."""
+        return dict(self.constant_correlations())
+
+    @property
+    def num_correlated_signals(self) -> int:
+        return sum(len(cls) for cls in self.classes) - sum(
+            1 for cls in self.classes if any(n == 0 for n, _ in cls))
+
+
+def find_correlations(circuit: Circuit,
+                      seed: int = 1,
+                      width: int = DEFAULT_WIDTH,
+                      stall_rounds: int = 4,
+                      max_rounds: int = 256,
+                      max_class_size: int = 3,
+                      include_inputs: bool = False,
+                      candidate_nodes: Optional[List[int]] = None
+                      ) -> CorrelationSet:
+    """Run random simulation and return candidate signal correlations.
+
+    ``stall_rounds`` consecutive rounds without any class refinement stop the
+    simulation (paper: four).  ``max_class_size`` implements the paper's
+    size-3 filter for classes not containing the constant.  By default only
+    internal (AND) signals are considered; set ``include_inputs=True`` to
+    also correlate primary inputs.
+    """
+    rng = random.Random(seed)
+    if candidate_nodes is None:
+        candidate_nodes = [0] + [n for n in circuit.nodes()
+                                 if circuit.is_and(n)
+                                 or (include_inputs and circuit.is_input(n))]
+    elif 0 not in candidate_nodes:
+        candidate_nodes = [0] + list(candidate_nodes)
+
+    mask = (1 << width) - 1
+    class_id: Dict[int, int] = {n: 0 for n in candidate_nodes}
+    phase: Dict[int, int] = {n: 0 for n in candidate_nodes}
+    num_classes = 1
+    first_round = True
+    stalled = 0
+    rounds = 0
+
+    while rounds < max_rounds and stalled < stall_rounds:
+        vals = simulate_words(circuit, random_input_words(circuit, rng, width),
+                              width)
+        rounds += 1
+        groups: Dict[Tuple[int, int], List[int]] = {}
+        if first_round:
+            # Fix each node's phase from its first simulated bit so that
+            # anti-correlated signals share a canonical signature thereafter.
+            for n in candidate_nodes:
+                phase[n] = vals[n] & 1
+            first_round = False
+        for n in candidate_nodes:
+            canon = vals[n] ^ (mask if phase[n] else 0)
+            groups.setdefault((class_id[n], canon), []).append(n)
+        if len(groups) != num_classes:
+            num_classes = len(groups)
+            stalled = 0
+        else:
+            stalled += 1
+        for new_id, members in enumerate(groups.values()):
+            for n in members:
+                class_id[n] = new_id
+
+    by_class: Dict[int, List[Tuple[int, int]]] = {}
+    for n in candidate_nodes:
+        by_class.setdefault(class_id[n], []).append((n, phase[n]))
+
+    classes: List[List[Tuple[int, int]]] = []
+    for members in by_class.values():
+        if len(members) < 2:
+            continue
+        members.sort()
+        has_const = members[0][0] == 0
+        if not has_const and len(members) > max_class_size:
+            continue  # likely a simulation artifact, not real correlation
+        if has_const:
+            classes.insert(0, members)
+        else:
+            classes.append(members)
+    return CorrelationSet(classes=classes, rounds=rounds,
+                          patterns_simulated=rounds * width)

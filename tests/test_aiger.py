@@ -1,0 +1,166 @@
+"""Unit tests for AIGER (aag) I/O."""
+
+import pytest
+
+from repro import Circuit, ParseError
+from repro.circuit.aiger import read_aiger, write_aiger
+from repro.circuit.sequential import SequentialCircuit, bounded_model_check
+from repro.sim import circuits_equivalent_exhaustive
+from conftest import build_full_adder, build_random_circuit
+
+# The canonical AIGER toy examples (from the format report).
+AND_GATE = """aag 3 2 0 1 1
+2
+4
+6
+6 2 4
+"""
+
+OR_GATE = """aag 3 2 0 1 1
+2
+4
+7
+6 3 5
+"""
+
+HALF_ADDER = """aag 7 2 0 2 3
+2
+4
+6
+12
+6 13 15
+12 2 4
+14 3 5
+i0 x
+i1 y
+o0 sum
+o1 carry
+c
+half adder
+"""
+
+TOGGLE_FF = """aag 1 0 1 2 0
+2 3
+2
+3
+"""
+
+
+class TestReader:
+    def test_and_gate(self):
+        c = read_aiger(AND_GATE)
+        assert c.num_inputs == 2
+        assert c.num_ands == 1
+        vals = {c.inputs[0]: True, c.inputs[1]: True}
+        assert c.output_values(vals) == [True]
+        vals[c.inputs[0]] = False
+        assert c.output_values(vals) == [False]
+
+    def test_or_gate_via_demorgan(self):
+        c = read_aiger(OR_GATE)
+        for a in (False, True):
+            for b in (False, True):
+                got = c.output_values({c.inputs[0]: a, c.inputs[1]: b})
+                assert got == [a or b]
+
+    def test_half_adder_with_symbols(self):
+        c = read_aiger(HALF_ADDER)
+        assert c.name_of(c.inputs[0]) == "x"
+        assert c.output_names == ["sum", "carry"]
+        for x in (False, True):
+            for y in (False, True):
+                s, carry = c.output_values({c.inputs[0]: x, c.inputs[1]: y})
+                assert s == (x != y)
+                assert carry == (x and y)
+
+    def test_toggle_flip_flop(self):
+        seq = read_aiger(TOGGLE_FF)
+        assert isinstance(seq, SequentialCircuit)
+        assert seq.num_flops == 1
+        # Output o1 is ~latch; the latch toggles every cycle from 0:
+        # frame1 latch=0 -> o0=0, o1=1; frame2 latch=1 -> o0=1.
+        unrolled, _ = seq.unroll(2)
+        outs = unrolled.output_values({})
+        assert outs == [False, True, True, False]
+
+    def test_out_of_order_ands_ok(self):
+        text = "aag 4 1 0 1 2\n2\n8\n8 6 6\n6 2 3\n"
+        c = read_aiger(text)
+        assert c.num_ands == 2
+
+    def test_bad_header(self):
+        with pytest.raises(ParseError):
+            read_aiger("aig 1 1 0 0 0\n2\n")
+        with pytest.raises(ParseError):
+            read_aiger("")
+
+    def test_truncated_body(self):
+        with pytest.raises(ParseError):
+            read_aiger("aag 3 2 0 1 1\n2\n4\n")
+
+    def test_odd_input_literal_rejected(self):
+        with pytest.raises(ParseError):
+            read_aiger("aag 1 1 0 0 0\n3\n")
+
+    def test_undefined_output_literal(self):
+        with pytest.raises(ParseError):
+            read_aiger("aag 2 1 0 1 0\n2\n4\n")
+
+    def test_cyclic_ands_rejected(self):
+        text = "aag 3 1 0 1 2\n2\n4\n4 6 2\n6 4 2\n"
+        with pytest.raises(ParseError):
+            read_aiger(text)
+
+    def test_force_sequential_on_combinational(self):
+        seq = read_aiger(AND_GATE, as_sequential=True)
+        assert isinstance(seq, SequentialCircuit)
+        assert seq.num_flops == 0
+
+
+class TestWriterRoundtrip:
+    def test_full_adder_roundtrip(self):
+        fa = build_full_adder()
+        back = read_aiger(write_aiger(fa))
+        assert circuits_equivalent_exhaustive(fa, back)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_roundtrip(self, seed):
+        c = build_random_circuit(seed + 70, num_inputs=5, num_gates=25)
+        back = read_aiger(write_aiger(c))
+        assert circuits_equivalent_exhaustive(c, back)
+
+    def test_names_preserved(self):
+        fa = build_full_adder()
+        back = read_aiger(write_aiger(fa))
+        assert [back.name_of(p) for p in back.inputs] == \
+            [fa.name_of(p) for p in fa.inputs]
+        assert back.output_names == fa.output_names
+
+    def test_sequential_roundtrip(self):
+        # Build a 2-bit counter, write, read, compare BMC behaviour.
+        core = Circuit("cnt")
+        s0, s1 = core.add_input("s0"), core.add_input("s1")
+        ns0 = s0 ^ 1
+        ns1 = core.xor_(s1, s0)
+        core.add_output(core.add_and(s0, s1), "bad")
+        core.add_output(ns0, "n0")
+        core.add_output(ns1, "n1")
+        from repro.circuit.sequential import FlipFlop
+        seq = SequentialCircuit(core, [
+            FlipFlop(state=s0 >> 1, next_state=ns0, name="s0"),
+            FlipFlop(state=s1 >> 1, next_state=ns1, name="s1")])
+        back = read_aiger(write_aiger(seq))
+        assert isinstance(back, SequentialCircuit)
+        assert back.num_flops == 2
+        f1, r1 = bounded_model_check(seq, max_frames=6)
+        f2, r2 = bounded_model_check(back, max_frames=6)
+        assert f1 == f2
+        assert r1.status == r2.status
+
+    def test_header_counts(self):
+        fa = build_full_adder()
+        header = write_aiger(fa).splitlines()[0].split()
+        assert header[0] == "aag"
+        assert int(header[2]) == 3  # inputs
+        assert int(header[4]) == 2  # outputs
+        assert int(header[5]) == fa.num_ands

@@ -1,0 +1,107 @@
+"""Unit tests for the extended arithmetic generators."""
+
+import random
+
+import pytest
+
+from repro import CircuitError, check_equivalence, preset, Limits, UNSAT
+from repro.gen.arith import array_multiplier, ripple_adder
+from repro.gen.arith2 import (barrel_shifter, booth_multiplier,
+                              carry_lookahead_adder)
+from repro.sim import circuits_equivalent_exhaustive
+
+
+def int_inputs(circuit, prefix, width, value):
+    return {circuit.node_by_name("{}{}".format(prefix, i)):
+            bool((value >> i) & 1) for i in range(width)}
+
+
+class TestCarryLookahead:
+    @pytest.mark.parametrize("width", [1, 3, 6])
+    def test_equals_ripple(self, width):
+        assert circuits_equivalent_exhaustive(
+            ripple_adder(width), carry_lookahead_adder(width))
+
+    def test_with_carry_in(self):
+        assert circuits_equivalent_exhaustive(
+            ripple_adder(4, with_carry_in=True),
+            carry_lookahead_adder(4, with_carry_in=True))
+
+    def test_shallower_than_ripple(self):
+        # The whole point of lookahead: depth grows slower than the chain.
+        assert (carry_lookahead_adder(12).max_level
+                < ripple_adder(12).max_level)
+
+    def test_invalid_width(self):
+        with pytest.raises(CircuitError):
+            carry_lookahead_adder(0)
+
+
+class TestBoothMultiplier:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4])
+    def test_equals_array_multiplier(self, width):
+        assert circuits_equivalent_exhaustive(
+            array_multiplier(width), booth_multiplier(width))
+
+    def test_numeric_spot_checks(self):
+        width = 5
+        c = booth_multiplier(width)
+        rng = random.Random(1)
+        for _ in range(12):
+            a, b = rng.getrandbits(width), rng.getrandbits(width)
+            ins = {**int_inputs(c, "a", width, a),
+                   **int_inputs(c, "b", width, b)}
+            outs = c.output_values(ins)
+            assert sum(int(v) << i for i, v in enumerate(outs)) == a * b
+
+    def test_structurally_different_from_array(self):
+        assert (booth_multiplier(4)._fanin0
+                != array_multiplier(4)._fanin0)
+
+    def test_solver_proves_equivalence(self):
+        r = check_equivalence(array_multiplier(4), booth_multiplier(4),
+                              preset("explicit"),
+                              limits=Limits(max_seconds=60))
+        assert r.status == UNSAT
+
+
+class TestBarrelShifter:
+    @pytest.mark.parametrize("width", [4, 8])
+    def test_shift_semantics(self, width):
+        c = barrel_shifter(width)
+        n_sel = max(1, (width - 1).bit_length())
+        rng = random.Random(width)
+        for _ in range(16):
+            d = rng.getrandbits(width)
+            sh = rng.randrange(width)
+            ins = {**int_inputs(c, "d", width, d),
+                   **int_inputs(c, "sh", n_sel, sh)}
+            outs = c.output_values(ins)
+            got = sum(int(v) << i for i, v in enumerate(outs))
+            assert got == (d << sh) & ((1 << width) - 1)
+
+    def test_rotate_semantics(self):
+        width = 8
+        c = barrel_shifter(width, rotate=True)
+        rng = random.Random(3)
+        for _ in range(16):
+            d = rng.getrandbits(width)
+            sh = rng.randrange(width)
+            ins = {**int_inputs(c, "d", width, d),
+                   **int_inputs(c, "sh", 3, sh)}
+            outs = c.output_values(ins)
+            got = sum(int(v) << i for i, v in enumerate(outs))
+            expect = ((d << sh) | (d >> (width - sh))) & 0xFF \
+                if sh else d
+            assert got == expect
+
+    def test_zero_shift_is_identity(self):
+        c = barrel_shifter(6)
+        d = 0b101101 & 0b111111
+        ins = {**int_inputs(c, "d", 6, d), **int_inputs(c, "sh", 3, 0)}
+        outs = c.output_values(ins)
+        assert sum(int(v) << i for i, v in enumerate(outs)) == d
+
+    def test_invalid_width(self):
+        with pytest.raises(CircuitError):
+            barrel_shifter(0)

@@ -1,0 +1,171 @@
+"""Unit tests for the ATPG package (faults, fault simulation, test gen)."""
+
+import random
+
+import pytest
+
+from repro import Circuit, CircuitError, Limits
+from repro.atpg import (Fault, FaultSimulator, fault_miter, fault_simulate,
+                        full_fault_list, generate_tests, inject_fault)
+from repro.sim.bitsim import simulate_words, truth_tables
+from conftest import build_full_adder, build_random_circuit
+
+
+class TestFaultModel:
+    def test_bad_value_rejected(self):
+        with pytest.raises(CircuitError):
+            Fault(3, 2)
+
+    def test_describe_uses_names(self, full_adder):
+        fault = Fault(full_adder.inputs[0], 1)
+        assert "a stuck-at-1" == fault.describe(full_adder)
+        assert "stuck-at-1" in fault.describe()
+
+    def test_full_fault_list_counts(self, full_adder):
+        faults = full_fault_list(full_adder)
+        observable = [n for n in full_adder.cone(full_adder.outputs)
+                      if n != 0]
+        assert len(faults) == 2 * len(observable)
+
+    def test_observable_filter(self):
+        c = Circuit()
+        a, b = c.add_input("a"), c.add_input("b")
+        g = c.add_and(a, b)
+        c.add_and(g, a ^ 1)  # dangling gate
+        c.add_output(g)
+        all_faults = full_fault_list(c, observable_only=False)
+        observable = full_fault_list(c, observable_only=True)
+        assert len(observable) < len(all_faults)
+
+    def test_exclude_inputs(self, full_adder):
+        faults = full_fault_list(full_adder, include_inputs=False)
+        assert all(not full_adder.is_input(f.node) for f in faults)
+
+
+class TestInjectFault:
+    def test_pi_stuck_at(self, full_adder):
+        pi = full_adder.inputs[0]
+        faulty = inject_fault(full_adder, Fault(pi, 1))
+        # The faulty circuit behaves as if input a were always 1.
+        for a in (False, True):
+            base = full_adder.output_values(
+                {full_adder.inputs[0]: True, full_adder.inputs[1]: a,
+                 full_adder.inputs[2]: True})
+            got = faulty.output_values(
+                {faulty.inputs[0]: False, faulty.inputs[1]: a,
+                 faulty.inputs[2]: True})
+            assert got == base
+
+    def test_gate_stuck_at(self):
+        c = Circuit()
+        a, b = c.add_input("a"), c.add_input("b")
+        g = c.add_and(a, b)
+        c.add_output(g, "y")
+        faulty = inject_fault(c, Fault(g >> 1, 1))
+        # Output reads the constant 1 whatever the inputs do.
+        assert faulty.output_values({faulty.inputs[0]: False,
+                                     faulty.inputs[1]: False}) == [True]
+
+    def test_interface_preserved(self, full_adder):
+        faulty = inject_fault(full_adder, Fault(full_adder.inputs[1], 0))
+        assert faulty.num_inputs == full_adder.num_inputs
+        assert faulty.output_names == full_adder.output_names
+
+    def test_out_of_range_rejected(self, full_adder):
+        with pytest.raises(CircuitError):
+            inject_fault(full_adder, Fault(9999, 0))
+
+
+class TestFaultSimulation:
+    def test_detection_matches_exhaustive_miter(self):
+        """The fault simulator must agree with brute-force comparison of
+        fault-free and faulted truth tables."""
+        c = build_random_circuit(88, num_inputs=4, num_gates=20)
+        faults = full_fault_list(c)
+        width = 1 << c.num_inputs
+        from repro.sim.bitsim import exhaustive_input_words
+        words = exhaustive_input_words(c.num_inputs)
+        base_vals = simulate_words(c, words, width)
+        sim = FaultSimulator(c)
+        for fault in faults:
+            word = sim.detects(fault, base_vals, width)
+            faulty = inject_fault(c, fault)
+            f_tts = truth_tables(faulty)
+            expect = 0
+            for (lit, flit) in zip(c.outputs, faulty.outputs):
+                good = base_vals[lit >> 1] ^ ((width and (1 << width) - 1)
+                                              if (lit & 1) else 0)
+                bad = f_tts[flit >> 1] ^ (((1 << width) - 1)
+                                          if (flit & 1) else 0)
+                expect |= good ^ bad
+            assert word == expect, fault
+
+    def test_unexcited_fault_not_detected(self):
+        c = Circuit()
+        a, b = c.add_input("a"), c.add_input("b")
+        g = c.add_and(a, b)
+        c.add_output(g)
+        # Pattern a=1,b=1 makes g=1: stuck-at-1 on g is not excited.
+        detections = fault_simulate(c, [Fault(g >> 1, 1)], [1, 1], width=1)
+        assert detections[Fault(g >> 1, 1)] == 0
+        # But stuck-at-0 is detected by the same pattern.
+        detections = fault_simulate(c, [Fault(g >> 1, 0)], [1, 1], width=1)
+        assert detections[Fault(g >> 1, 0)] == 1
+
+
+class TestTestGeneration:
+    def test_full_adder_complete_coverage(self, full_adder):
+        result = generate_tests(full_adder, seed=5)
+        assert not result.aborted
+        # The full adder has no redundant logic: everything testable.
+        assert not result.untestable
+        assert result.coverage == 1.0
+        assert result.patterns
+
+    def test_patterns_really_detect(self, full_adder):
+        result = generate_tests(full_adder, seed=5)
+        for pattern in result.patterns:
+            words = [int(pattern.inputs[pi]) for pi in full_adder.inputs]
+            base_vals = simulate_words(full_adder, words, 1)
+            sim = FaultSimulator(full_adder)
+            for fault in pattern.detects:
+                assert sim.detects(fault, base_vals, 1) == 1, fault
+
+    def test_redundant_fault_proven_untestable(self):
+        # y = (a & b) | (a & b)  built redundantly: one copy's output
+        # stuck-at its controlled value is undetectable.
+        c = Circuit(strash=False)
+        a, b = c.add_input("a"), c.add_input("b")
+        g1 = c.add_and(a, b)
+        g2 = c.add_raw_and(a, b)
+        y = c.or_(g1, g2)
+        c.add_output(y, "y")
+        # g2 stuck-at-0: output becomes g1 alone == same function.
+        result = generate_tests(c, faults=[Fault(g2 >> 1, 0)],
+                                random_patterns=0)
+        assert len(result.untestable) == 1
+        assert result.coverage == 1.0  # no testable faults missed
+
+    def test_fault_dropping_reduces_solver_calls(self):
+        c = build_random_circuit(17, num_inputs=5, num_gates=30)
+        result = generate_tests(c, seed=3)
+        # Fault dropping + random phase means far fewer calls than faults.
+        assert result.solver_calls < result.total_faults
+
+    def test_without_random_phase(self, full_adder):
+        result = generate_tests(full_adder, random_patterns=0, seed=1)
+        assert result.coverage == 1.0
+        assert result.solver_calls >= 1
+
+    def test_fault_miter_detectability(self, full_adder):
+        fault = Fault(full_adder.inputs[0], 0)
+        m = fault_miter(full_adder, fault)
+        assert m.num_outputs == 1
+        from repro import CircuitSolver, preset
+        r = CircuitSolver(m, preset("csat-jnode")).solve()
+        assert r.status == "SAT"  # PI stuck-at on a full adder is testable
+
+    def test_summary_format(self, full_adder):
+        result = generate_tests(full_adder, seed=2)
+        text = result.summary()
+        assert "coverage" in text and "patterns" in text

@@ -1,0 +1,157 @@
+"""Unit tests for the ROBDD engine and its use as an equivalence oracle."""
+
+import itertools
+import random
+
+import pytest
+
+from repro import Circuit, ReproError
+from repro.bdd import Bdd, BddManager, bdd_equivalent, circuit_to_bdds
+from repro.circuit.rewrite import optimize
+from repro.gen.arith import array_multiplier, ripple_adder
+from repro.gen.arith2 import booth_multiplier, carry_lookahead_adder
+from repro.sim import truth_tables
+from conftest import build_full_adder, build_random_circuit
+
+
+class TestManagerBasics:
+    def test_terminals(self):
+        m = BddManager(2)
+        assert m.false == 0 and m.true == 1
+        assert m.apply_not(m.false) == m.true
+
+    def test_variable_nodes_unique(self):
+        m = BddManager(3)
+        assert m.variable(1) == m.variable(1)
+        assert m.variable(0) != m.variable(1)
+
+    def test_variable_range_checked(self):
+        with pytest.raises(ReproError):
+            BddManager(2).variable(2)
+
+    def test_reduction_rule(self):
+        m = BddManager(2)
+        # mk with identical children must collapse.
+        assert m.mk(0, 1, 1) == 1
+
+    def test_canonical_and(self):
+        m = BddManager(2)
+        x, y = m.variable(0), m.variable(1)
+        assert m.apply_and(x, y) == m.apply_and(y, x)
+
+    def test_truthtable_semantics(self):
+        m = BddManager(3)
+        x, y, z = (m.variable(i) for i in range(3))
+        f = m.apply_or(m.apply_and(x, y), m.apply_xor(y, z))
+        for bits in itertools.product([False, True], repeat=3):
+            expect = (bits[0] and bits[1]) or (bits[1] != bits[2])
+            assert m.evaluate(f, list(bits)) == expect
+
+    def test_node_limit_enforced(self):
+        m = BddManager(8, node_limit=10)
+        with pytest.raises(ReproError):
+            node = m.true
+            for i in range(8):
+                node = m.apply_xor(node, m.variable(i))
+
+    def test_size(self):
+        m = BddManager(3)
+        x = m.variable(0)
+        assert m.size(x) == 1
+        assert m.size(m.true) == 0
+
+
+class TestSatCount:
+    def test_terminals(self):
+        m = BddManager(4)
+        assert m.sat_count(m.false) == 0
+        assert m.sat_count(m.true) == 16
+
+    def test_single_variable(self):
+        m = BddManager(4)
+        assert m.sat_count(m.variable(2)) == 8
+
+    def test_xor_chain(self):
+        m = BddManager(5)
+        f = m.false
+        for i in range(5):
+            f = m.apply_xor(f, m.variable(i))
+        assert m.sat_count(f) == 16  # odd-parity assignments
+
+    def test_matches_truth_table_on_random_circuits(self):
+        for seed in range(6):
+            c = build_random_circuit(seed + 300, num_inputs=5, num_gates=25,
+                                     num_outputs=1)
+            manager, outs = circuit_to_bdds(c)
+            tts = truth_tables(c)
+            o = c.outputs[0]
+            word = tts[o >> 1] ^ ((1 << 32) - 1 if (o & 1) else 0)
+            assert manager.sat_count(outs[0]) == bin(word & ((1 << 32) - 1)
+                                                     ).count("1")
+
+
+class TestBddHandle:
+    def test_operators(self):
+        m = BddManager(2)
+        x = Bdd(m, m.variable(0))
+        y = Bdd(m, m.variable(1))
+        assert ((x & y) | (~x & ~y)).node == (~(x ^ y)).node
+        assert (x ^ x).is_false
+        assert (x | ~x).is_true
+
+    def test_sat_count_method(self):
+        m = BddManager(3)
+        x = Bdd(m, m.variable(0))
+        assert x.sat_count() == 4
+
+
+class TestCircuitConversion:
+    def test_full_adder_bdds_match_truth_tables(self, full_adder):
+        manager, outs = circuit_to_bdds(full_adder)
+        tts = truth_tables(full_adder)
+        for out_node, lit in zip(outs, full_adder.outputs):
+            for k in range(8):
+                bits = [bool((k >> i) & 1) for i in range(3)]
+                expect = bool((tts[lit >> 1] >> k) & 1) ^ bool(lit & 1)
+                assert manager.evaluate(out_node, bits) == expect
+
+
+class TestEquivalenceOracle:
+    def test_identical(self, full_adder):
+        assert bdd_equivalent(full_adder, build_full_adder())
+
+    def test_rewritten_copy(self):
+        c = build_random_circuit(12, num_inputs=6, num_gates=40)
+        assert bdd_equivalent(c, optimize(c, seed=3))
+
+    def test_detects_difference(self):
+        c1 = Circuit()
+        a, b = c1.add_input("a"), c1.add_input("b")
+        c1.add_output(c1.add_and(a, b))
+        c2 = Circuit()
+        a, b = c2.add_input("a"), c2.add_input("b")
+        c2.add_output(c2.or_(a, b))
+        assert not bdd_equivalent(c1, c2)
+
+    def test_wide_adders_beyond_exhaustive_reach(self):
+        # 24 inputs each: too wide for exhaustive simulation, easy for BDDs.
+        assert bdd_equivalent(ripple_adder(12), carry_lookahead_adder(12))
+
+    def test_multipliers(self):
+        assert bdd_equivalent(array_multiplier(5), booth_multiplier(5))
+
+    def test_shape_mismatch(self, full_adder):
+        c = Circuit()
+        c.add_input("a")
+        c.add_output(2)
+        assert not bdd_equivalent(full_adder, c)
+
+    def test_agrees_with_sat_solver(self):
+        from repro import check_equivalence, preset
+        for seed in range(5):
+            left = build_random_circuit(seed + 600, num_inputs=5,
+                                        num_gates=30)
+            right = optimize(left, seed=seed + 1)
+            assert bdd_equivalent(left, right)
+            assert check_equivalence(left, right,
+                                     preset("implicit")).is_unsat

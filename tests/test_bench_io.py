@@ -1,0 +1,146 @@
+"""Unit tests for the .bench reader/writer."""
+
+import pytest
+
+from repro import Circuit, ParseError, read_bench, write_bench
+from repro.sim import circuits_equivalent_exhaustive, truth_tables
+from conftest import build_full_adder
+
+C17 = """
+# c17-like example
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""
+
+
+class TestReader:
+    def test_c17(self):
+        c = read_bench(C17, "c17")
+        assert c.num_inputs == 5
+        assert c.num_outputs == 2
+        assert c.num_ands == 6
+        c.check()
+
+    def test_c17_function(self):
+        c = read_bench(C17)
+        # All inputs 0: the first-level NANDs are 1, so both output NANDs
+        # see two 1s and produce 0.
+        values = {pi: False for pi in c.inputs}
+        assert c.output_values(values) == [False, False]
+        # Inputs 1=1, 3=0 make gate 10 = NAND(1, 0) = 1 and gate 16 = 1
+        # (since 11 = NAND(0, x) = 1, 2 = 0), so output 22 = NAND(1,1) = 0.
+        named = {c.node_by_name(n): False for n in ("2", "3", "6", "7")}
+        named[c.node_by_name("1")] = True
+        assert c.output_values(named)[0] is False
+
+    def test_all_gate_types(self):
+        text = """
+        INPUT(a)
+        INPUT(b)
+        OUTPUT(o1)
+        OUTPUT(o2)
+        OUTPUT(o3)
+        g1 = AND(a, b)
+        g2 = OR(a, b)
+        g3 = XOR(a, b)
+        g4 = NOR(g1, g2)
+        g5 = XNOR(g3, a)
+        g6 = NOT(g5)
+        g7 = BUF(g6)
+        o1 = AND(g4, g7)
+        o2 = NAND(a, b, g3)
+        o3 = OR(a, b, g1, g2)
+        """
+        c = read_bench(text)
+        c.check()
+        assert c.num_outputs == 3
+
+    def test_out_of_order_definitions(self):
+        text = """
+        INPUT(a)
+        INPUT(b)
+        OUTPUT(y)
+        y = AND(g1, a)
+        g1 = OR(a, b)
+        """
+        c = read_bench(text)
+        values = {c.inputs[0]: True, c.inputs[1]: False}
+        assert c.output_values(values) == [True]
+
+    def test_dff_becomes_scan_io(self):
+        text = """
+        INPUT(clkin)
+        OUTPUT(q)
+        q = DFF(d)
+        d = AND(clkin, q)
+        """
+        c = read_bench(text)
+        # DFF output q becomes a PI; its data input becomes PO "q_ns".
+        assert c.num_inputs == 2
+        assert "q_ns" in c.output_names
+
+    def test_undriven_signal_raises(self):
+        with pytest.raises(ParseError):
+            read_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+
+    def test_duplicate_definition_raises(self):
+        with pytest.raises(ParseError):
+            read_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, a)\ny = OR(a, a)\n")
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(ParseError):
+            read_bench("INPUT(a)\nOUTPUT(y)\ny = MAJ3(a, a, a)\n")
+
+    def test_garbage_line_raises(self):
+        with pytest.raises(ParseError):
+            read_bench("this is not bench\n")
+
+    def test_undriven_output_raises(self):
+        with pytest.raises(ParseError):
+            read_bench("INPUT(a)\nOUTPUT(nope)\n")
+
+    def test_comments_and_blank_lines_skipped(self):
+        c = read_bench("# header\n\nINPUT(a)\n# c\nOUTPUT(a)\n")
+        assert c.num_inputs == 1
+
+
+class TestWriter:
+    def test_roundtrip_full_adder(self):
+        fa = build_full_adder()
+        text = write_bench(fa)
+        back = read_bench(text)
+        assert circuits_equivalent_exhaustive(fa, back)
+
+    def test_roundtrip_c17(self):
+        c = read_bench(C17)
+        back = read_bench(write_bench(c))
+        assert circuits_equivalent_exhaustive(c, back)
+
+    def test_roundtrip_with_inverted_output(self):
+        c = Circuit()
+        a, b = c.add_input("a"), c.add_input("b")
+        c.add_output(c.nand_(a, b), "y")
+        back = read_bench(write_bench(c))
+        assert circuits_equivalent_exhaustive(c, back)
+
+    def test_output_names_preserved(self):
+        fa = build_full_adder()
+        back = read_bench(write_bench(fa))
+        assert back.output_names == fa.output_names
+
+    def test_input_names_preserved(self):
+        fa = build_full_adder()
+        back = read_bench(write_bench(fa))
+        assert ([back.name_of(p) for p in back.inputs]
+                == [fa.name_of(p) for p in fa.inputs])

@@ -1,0 +1,117 @@
+"""Unit tests for word-parallel simulation."""
+
+import random
+
+import pytest
+
+from repro import Circuit, CircuitError
+from repro.sim.bitsim import (circuits_equivalent_exhaustive,
+                              exhaustive_input_words, output_words,
+                              random_input_words, simulate_random,
+                              simulate_words, truth_tables)
+from conftest import build_full_adder, build_random_circuit
+
+
+class TestSimulateWords:
+    def test_matches_single_pattern_eval(self):
+        c = build_random_circuit(17, num_inputs=6, num_gates=40)
+        rng = random.Random(5)
+        words = random_input_words(c, rng, 64)
+        vals = simulate_words(c, words, 64)
+        # Check 8 random bit positions against scalar evaluation.
+        for bit in rng.sample(range(64), 8):
+            inputs = {pi: bool((w >> bit) & 1)
+                      for pi, w in zip(c.inputs, words)}
+            scalar = c.evaluate(inputs)
+            for n in c.nodes():
+                assert bool((vals[n] >> bit) & 1) == scalar[n]
+
+    def test_dict_input_form(self, full_adder):
+        words = {pi: 0b1010 for pi in full_adder.inputs}
+        vals = simulate_words(full_adder, words, width=4)
+        assert vals[full_adder.inputs[0]] == 0b1010
+
+    def test_wrong_input_count_raises(self, full_adder):
+        with pytest.raises(CircuitError):
+            simulate_words(full_adder, [0, 0])
+
+    def test_non_input_node_raises(self, full_adder):
+        gate = next(full_adder.and_nodes())
+        with pytest.raises(CircuitError):
+            simulate_words(full_adder, {gate: 1})
+
+    def test_constant_node_is_zero(self, full_adder):
+        words = [0xFFFF] * 3
+        vals = simulate_words(full_adder, words, width=16)
+        assert vals[0] == 0
+
+    def test_words_masked_to_width(self, full_adder):
+        vals = simulate_words(full_adder, [(1 << 80) - 1] * 3, width=8)
+        assert all(v < (1 << 8) for v in vals)
+
+    def test_output_words_applies_inversion(self):
+        c = Circuit()
+        a = c.add_input()
+        c.add_output(a ^ 1)
+        vals = simulate_words(c, [0b0101], width=4)
+        assert output_words(c, vals, width=4) == [0b1010]
+
+    def test_simulate_random_deterministic(self, full_adder):
+        assert simulate_random(full_adder, seed=3) == \
+            simulate_random(full_adder, seed=3)
+        assert simulate_random(full_adder, seed=3) != \
+            simulate_random(full_adder, seed=4)
+
+
+class TestExhaustive:
+    def test_exhaustive_words_cover_all_patterns(self):
+        words = exhaustive_input_words(3)
+        seen = set()
+        for k in range(8):
+            seen.add(tuple((w >> k) & 1 for w in words))
+        assert len(seen) == 8
+
+    def test_too_many_inputs_rejected(self):
+        with pytest.raises(CircuitError):
+            exhaustive_input_words(21)
+
+    def test_truth_tables_full_adder(self, full_adder):
+        tts = truth_tables(full_adder)
+        s_lit, c_lit = full_adder.outputs
+        for k in range(8):
+            a, b, cin = k & 1, (k >> 1) & 1, (k >> 2) & 1
+            total = a + b + cin
+            s_bit = ((tts[s_lit >> 1] >> k) & 1) ^ (s_lit & 1)
+            c_bit = ((tts[c_lit >> 1] >> k) & 1) ^ (c_lit & 1)
+            assert s_bit == (total & 1)
+            assert c_bit == (total >> 1)
+
+
+class TestEquivalenceOracle:
+    def test_identical_copies_equivalent(self, full_adder):
+        assert circuits_equivalent_exhaustive(full_adder,
+                                              build_full_adder())
+
+    def test_different_function_not_equivalent(self):
+        c1 = Circuit()
+        a, b = c1.add_input("a"), c1.add_input("b")
+        c1.add_output(c1.add_and(a, b))
+        c2 = Circuit()
+        a, b = c2.add_input("a"), c2.add_input("b")
+        c2.add_output(c2.or_(a, b))
+        assert not circuits_equivalent_exhaustive(c1, c2)
+
+    def test_shape_mismatch_not_equivalent(self, full_adder):
+        c = Circuit()
+        c.add_input("a")
+        c.add_output(2)
+        assert not circuits_equivalent_exhaustive(full_adder, c)
+
+    def test_matches_by_name_when_inputs_permuted(self):
+        c1 = Circuit()
+        a, b = c1.add_input("a"), c1.add_input("b")
+        c1.add_output(c1.add_and(a, b ^ 1))
+        c2 = Circuit()
+        b2, a2 = c2.add_input("b"), c2.add_input("a")  # swapped order
+        c2.add_output(c2.add_and(a2, b2 ^ 1))
+        assert circuits_equivalent_exhaustive(c1, c2)

@@ -1,0 +1,114 @@
+"""Unit tests for circuit<->CNF conversion."""
+
+import itertools
+
+import pytest
+
+from repro import Circuit, CnfFormula, CnfSolver, CircuitError, SAT, UNSAT
+from repro.circuit.cnf_convert import cnf_to_circuit, tseitin
+from repro.sim import truth_tables
+from conftest import build_full_adder, build_random_circuit
+
+
+def models_of_circuit(circuit, objectives):
+    """All input assignments satisfying the objectives (small circuits)."""
+    tts = truth_tables(circuit)
+    width = 1 << circuit.num_inputs
+    mask = (1 << width) - 1
+    acc = mask
+    for o in objectives:
+        acc &= tts[o >> 1] ^ (mask if (o & 1) else 0)
+    return {k for k in range(width) if (acc >> k) & 1}
+
+
+class TestTseitin:
+    def test_gate_clause_count(self):
+        c = build_full_adder()
+        f, _ = tseitin(c)
+        # 3 clauses per AND + const unit + one unit per output.
+        assert f.num_clauses == 3 * c.num_ands + 1 + c.num_outputs
+
+    def test_var_map_is_node_plus_one(self, full_adder):
+        _, var_of = tseitin(full_adder)
+        assert var_of == [n + 1 for n in range(full_adder.num_nodes)]
+
+    def test_sat_objective_models_match_brute_force(self):
+        c = build_random_circuit(23, num_inputs=4, num_gates=20)
+        obj = [c.outputs[0]]
+        expected = models_of_circuit(c, obj)
+        f, var_of = tseitin(c, objectives=obj)
+        solver = CnfSolver(f)
+        found = set()
+        # Enumerate all models by blocking clauses over the input vars.
+        while True:
+            r = solver.solve()
+            if r.status != SAT:
+                break
+            key = 0
+            block = []
+            for i, pi in enumerate(c.inputs):
+                v = var_of[pi]
+                val = r.model.get(v, False)
+                key |= int(val) << i
+                block.append(-v if val else v)
+            found.add(key)
+            if not solver.add_clause(block):
+                break
+        assert found == expected
+
+    def test_unsat_when_objective_contradicts(self):
+        c = Circuit()
+        a = c.add_input("a")
+        g = c.add_and(a, a ^ 1)  # folded to FALSE literal
+        f, _ = tseitin(c, objectives=[g])
+        assert CnfSolver(f).solve().status == UNSAT
+
+    def test_default_objectives_are_outputs(self, full_adder):
+        f, var_of = tseitin(full_adder)
+        r = CnfSolver(f).solve()
+        assert r.status == SAT  # sum=1 and carry=1 achievable (a=b=cin=1)
+
+
+class TestCnfToCircuit:
+    def test_model_count_preserved(self):
+        f = CnfFormula(clauses=[[1, -2], [2, 3], [-1, -3]])
+        circuit, lit_of_var = cnf_to_circuit(f)
+        # Count satisfying assignments both ways.
+        expected = 0
+        for bits in itertools.product([False, True], repeat=f.num_vars):
+            if f.evaluate([False] + list(bits)):
+                expected += 1
+        sat_inputs = models_of_circuit(circuit, [circuit.outputs[0]])
+        assert len(sat_inputs) == expected
+
+    def test_variables_become_inputs(self):
+        f = CnfFormula(clauses=[[1, 2, 3]])
+        circuit, lit_of_var = cnf_to_circuit(f)
+        assert circuit.num_inputs == 3
+        assert lit_of_var[1] != lit_of_var[2]
+
+    def test_empty_clause_rejected(self):
+        f = CnfFormula(num_vars=1)
+        f.clauses.append([])
+        with pytest.raises(CircuitError):
+            cnf_to_circuit(f)
+
+    def test_two_level_shape(self):
+        # Each clause's OR tree never feeds another clause's OR tree:
+        # the circuit is OR-AND two-level up to tree decomposition.
+        f = CnfFormula(clauses=[[1, 2], [-1, 3], [2, -3]])
+        circuit, _ = cnf_to_circuit(f)
+        assert circuit.num_outputs == 1
+
+    def test_roundtrip_formula_circuit_formula(self):
+        f = CnfFormula(clauses=[[1, -2], [2, 3], [-1, -3], [1, 2, 3]])
+        circuit, _ = cnf_to_circuit(f)
+        back, _ = tseitin(circuit, objectives=[circuit.outputs[0]])
+        assert (CnfSolver(back).solve().status
+                == CnfSolver(f).solve().status)
+
+    def test_unsat_formula_roundtrip(self):
+        f = CnfFormula(clauses=[[1], [-1]])
+        circuit, _ = cnf_to_circuit(f)
+        g, _ = tseitin(circuit, objectives=[circuit.outputs[0]])
+        assert CnfSolver(g).solve().status == UNSAT

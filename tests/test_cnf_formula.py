@@ -1,0 +1,107 @@
+"""Unit tests for the CNF formula container and DIMACS I/O."""
+
+import pytest
+
+from repro import CnfFormula, ParseError, read_dimacs, write_dimacs
+
+
+class TestCnfFormula:
+    def test_empty(self):
+        f = CnfFormula()
+        assert f.num_vars == 0
+        assert f.num_clauses == 0
+
+    def test_add_clause_extends_vars(self):
+        f = CnfFormula()
+        f.add_clause([3, -7])
+        assert f.num_vars == 7
+        assert f.num_clauses == 1
+
+    def test_new_var(self):
+        f = CnfFormula(num_vars=2)
+        assert f.new_var() == 3
+        assert f.num_vars == 3
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ParseError):
+            CnfFormula().add_clause([1, 0])
+
+    def test_evaluate(self):
+        f = CnfFormula(clauses=[[1, -2], [2, 3]])
+        # 1=T satisfies the first clause, 2=T the second.
+        assert f.evaluate([False, True, True, False])
+        # 1=F, 2=T falsifies the first clause.
+        assert not f.evaluate([False, False, True, False])
+
+    def test_constructor_with_clauses(self):
+        f = CnfFormula(num_vars=5, clauses=[[1], [2, -3]])
+        assert f.num_vars == 5
+        assert f.num_clauses == 2
+
+    def test_repr(self):
+        assert "2 vars" in repr(CnfFormula(clauses=[[1, 2]]))
+
+
+class TestDimacsReader:
+    def test_basic(self):
+        f = read_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n")
+        assert f.num_vars == 3
+        assert f.clauses == [[1, -2], [2, 3]]
+
+    def test_comments_skipped(self):
+        f = read_dimacs("c hello\nc world\np cnf 1 1\nc mid\n1 0\n")
+        assert f.clauses == [[1]]
+
+    def test_multiline_clause(self):
+        f = read_dimacs("p cnf 4 1\n1 2\n3 4 0\n")
+        assert f.clauses == [[1, 2, 3, 4]]
+
+    def test_multiple_clauses_one_line(self):
+        f = read_dimacs("p cnf 2 2\n1 0 -2 0\n")
+        assert f.clauses == [[1], [-2]]
+
+    def test_missing_trailing_zero_tolerated(self):
+        f = read_dimacs("p cnf 2 1\n1 -2\n")
+        assert f.clauses == [[1, -2]]
+
+    def test_header_var_count_respected(self):
+        f = read_dimacs("p cnf 9 1\n1 0\n")
+        assert f.num_vars == 9
+
+    def test_bad_header_raises(self):
+        with pytest.raises(ParseError):
+            read_dimacs("p sat 3 2\n")
+        with pytest.raises(ParseError):
+            read_dimacs("p cnf three two\n")
+
+    def test_bad_literal_raises(self):
+        with pytest.raises(ParseError):
+            read_dimacs("p cnf 2 1\n1 x 0\n")
+
+    def test_no_header_still_parses(self):
+        f = read_dimacs("1 2 0\n-1 0\n")
+        assert f.num_clauses == 2
+        assert f.num_vars == 2
+
+    def test_file_object_source(self, tmp_path):
+        path = tmp_path / "f.cnf"
+        path.write_text("p cnf 1 1\n-1 0\n")
+        with open(path) as fh:
+            f = read_dimacs(fh)
+        assert f.clauses == [[-1]]
+
+
+class TestDimacsWriter:
+    def test_roundtrip(self):
+        f = CnfFormula(num_vars=4, clauses=[[1, -2], [3], [-4, 2, 1]])
+        back = read_dimacs(write_dimacs(f))
+        assert back.clauses == f.clauses
+        assert back.num_vars == f.num_vars
+
+    def test_header_counts(self):
+        text = write_dimacs(CnfFormula(num_vars=5, clauses=[[1], [2]]))
+        assert "p cnf 5 2" in text
+
+    def test_name_in_comment(self):
+        f = CnfFormula(name="myproblem")
+        assert "myproblem" in write_dimacs(f)

@@ -1,0 +1,210 @@
+"""Unit tests for the CDCL CNF solver (the ZChaff-architecture baseline)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro import CnfFormula, CnfSolver, Limits, SAT, UNKNOWN, UNSAT
+from repro.cnf.solver import solve_formula
+from repro.errors import SolverError
+
+
+def brute_force(formula):
+    """Exhaustive SAT check for small formulas."""
+    n = formula.num_vars
+    for bits in itertools.product([False, True], repeat=n):
+        assignment = [False] + list(bits)
+        if formula.evaluate(assignment):
+            return True
+    return False
+
+
+def random_formula(rng, num_vars, num_clauses, k=3):
+    clauses = []
+    for _ in range(num_clauses):
+        vs = rng.sample(range(1, num_vars + 1), min(k, num_vars))
+        clauses.append([v if rng.random() < 0.5 else -v for v in vs])
+    return CnfFormula(num_vars=num_vars, clauses=clauses)
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        assert CnfSolver(CnfFormula()).solve().status == SAT
+
+    def test_single_unit(self):
+        r = CnfSolver(CnfFormula(clauses=[[3]])).solve()
+        assert r.status == SAT
+        assert r.model[3] is True
+
+    def test_contradictory_units(self):
+        assert CnfSolver(CnfFormula(clauses=[[1], [-1]])).solve().status == UNSAT
+
+    def test_tautology_ignored(self):
+        r = CnfSolver(CnfFormula(clauses=[[1, -1]])).solve()
+        assert r.status == SAT
+
+    def test_duplicate_literals_collapsed(self):
+        r = CnfSolver(CnfFormula(clauses=[[2, 2, 2]])).solve()
+        assert r.status == SAT
+        assert r.model[2] is True
+
+    def test_simple_implication_chain(self):
+        # 1 -> 2 -> 3 -> ... -> 10, with 1 forced.
+        clauses = [[1]] + [[-i, i + 1] for i in range(1, 10)]
+        r = CnfSolver(CnfFormula(clauses=clauses)).solve()
+        assert r.status == SAT
+        assert all(r.model[v] for v in range(1, 11))
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # Pigeon i in hole j: var 2*i + j + 1 (i in 0..2, j in 0..1).
+        def v(i, j):
+            return 2 * i + j + 1
+        clauses = [[v(i, 0), v(i, 1)] for i in range(3)]
+        for j in range(2):
+            for i1 in range(3):
+                for i2 in range(i1 + 1, 3):
+                    clauses.append([-v(i1, j), -v(i2, j)])
+        assert CnfSolver(CnfFormula(clauses=clauses)).solve().status == UNSAT
+
+    def test_model_satisfies_formula(self):
+        rng = random.Random(7)
+        f = random_formula(rng, 12, 40)
+        r = CnfSolver(f).solve()
+        if r.status == SAT:
+            assignment = [False] * (f.num_vars + 1)
+            for v, val in r.model.items():
+                assignment[v] = val
+            assert f.evaluate(assignment)
+
+    def test_solve_formula_wrapper(self):
+        assert solve_formula(CnfFormula(clauses=[[1]])).status == SAT
+
+
+class TestCrossCheck:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_agrees_with_brute_force(self, seed):
+        rng = random.Random(seed)
+        nv = rng.randint(3, 9)
+        nc = rng.randint(1, 4 * nv)
+        f = random_formula(rng, nv, nc)
+        expected = brute_force(f)
+        r = CnfSolver(f).solve()
+        assert (r.status == SAT) == expected
+        if r.status == SAT:
+            assignment = [False] * (f.num_vars + 1)
+            for v, val in r.model.items():
+                assignment[v] = val
+            assert f.evaluate(assignment)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_repeated_solves_are_consistent(self, seed):
+        rng = random.Random(100 + seed)
+        f = random_formula(rng, 8, 24)
+        solver = CnfSolver(f)
+        first = solver.solve().status
+        for _ in range(3):
+            assert solver.solve().status == first
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        f = CnfFormula(clauses=[[1, 2]])
+        solver = CnfSolver(f)
+        r = solver.solve(assumptions=[-1])
+        assert r.status == SAT
+        assert r.model[2] is True
+
+    def test_conflicting_assumptions(self):
+        f = CnfFormula(clauses=[[1, 2]])
+        solver = CnfSolver(f)
+        assert solver.solve(assumptions=[-1, -2]).status == UNSAT
+        # The formula itself is still satisfiable afterwards.
+        assert solver.solve().status == SAT
+
+    def test_assumption_against_unit(self):
+        f = CnfFormula(clauses=[[5]])
+        solver = CnfSolver(f)
+        assert solver.solve(assumptions=[-5]).status == UNSAT
+        assert solver.solve(assumptions=[5]).status == SAT
+
+    def test_assumptions_dont_poison_later_calls(self):
+        rng = random.Random(3)
+        f = random_formula(rng, 10, 25)
+        solver = CnfSolver(f)
+        base = solver.solve().status
+        for v in range(1, 6):
+            solver.solve(assumptions=[v])
+            solver.solve(assumptions=[-v])
+        assert solver.solve().status == base
+
+
+class TestLimits:
+    def test_conflict_budget_returns_unknown(self):
+        # A hard pigeonhole instance with a tiny budget.
+        def v(i, j, holes):
+            return i * holes + j + 1
+        holes = 7
+        clauses = [[v(i, j, holes) for j in range(holes)]
+                   for i in range(holes + 1)]
+        for j in range(holes):
+            for i1 in range(holes + 1):
+                for i2 in range(i1 + 1, holes + 1):
+                    clauses.append([-v(i1, j, holes), -v(i2, j, holes)])
+        f = CnfFormula(clauses=clauses)
+        r = CnfSolver(f).solve(limits=Limits(max_conflicts=50))
+        assert r.status == UNKNOWN
+
+    def test_stats_are_per_call(self):
+        rng = random.Random(11)
+        f = random_formula(rng, 10, 30)
+        solver = CnfSolver(f)
+        r1 = solver.solve()
+        r2 = solver.solve()
+        # Second solve on an already-learned instance is not charged for
+        # the first call's work.
+        assert r2.stats.conflicts <= r1.stats.conflicts + 5
+
+
+class TestClauseAPI:
+    def test_add_clause_after_start_level_zero_only(self):
+        f = CnfFormula(clauses=[[1, 2]])
+        solver = CnfSolver(f)
+        assert solver.add_clause([-1, -2])
+        assert solver.solve().status == SAT
+
+    def test_add_empty_clause_unsat(self):
+        solver = CnfSolver(CnfFormula(num_vars=2))
+        assert not solver.add_clause([])
+        assert solver.solve().status == UNSAT
+
+    def test_zero_literal_rejected_by_formula(self):
+        from repro.errors import ParseError
+        with pytest.raises(ParseError):
+            CnfFormula(clauses=[[0]])
+
+
+class TestLearnedClauseManagement:
+    def test_learning_happens_on_unsat(self):
+        def v(i, j):
+            return 3 * i + j + 1
+        clauses = [[v(i, j) for j in range(3)] for i in range(4)]
+        for j in range(3):
+            for i1 in range(4):
+                for i2 in range(i1 + 1, 4):
+                    clauses.append([-v(i1, j), -v(i2, j)])
+        solver = CnfSolver(CnfFormula(clauses=clauses))
+        r = solver.solve()
+        assert r.status == UNSAT
+        assert r.stats.learned_clauses > 0
+        assert r.stats.conflicts > 0
+
+    def test_reduce_db_triggers_on_long_runs(self):
+        rng = random.Random(5)
+        # A formula near the phase transition keeps the solver busy.
+        f = random_formula(rng, 40, 170)
+        solver = CnfSolver(f, learnt_limit_factor=0.0)
+        solver.max_learnts = 30.0
+        r = solver.solve(limits=Limits(max_conflicts=5000))
+        if r.stats.learned_clauses > 100:
+            assert r.stats.deleted_clauses > 0

@@ -1,0 +1,248 @@
+"""Unit tests for the circuit CDCL engine (C-SAT core)."""
+
+import pytest
+
+from repro import Circuit, Limits, SAT, SolverError, UNKNOWN, UNSAT
+from repro.csat.engine import CSatEngine, _ACTION_TABLE, _build_action_table
+from repro.csat.options import SolverOptions
+from conftest import build_full_adder, build_random_circuit
+
+
+def make_engine(circuit, **opts):
+    return CSatEngine(circuit, SolverOptions(**opts))
+
+
+class TestActionTable:
+    def test_table_covers_all_states(self):
+        assert len(_ACTION_TABLE) == 27
+
+    def test_table_is_deterministic(self):
+        assert _build_action_table() == _ACTION_TABLE
+
+    def test_fully_assigned_consistent_states_are_silent(self):
+        # (la, lb, lg) consistent with AND semantics -> no action.
+        from repro.csat.engine import _A_NONE
+        for la in (0, 1):
+            for lb in (0, 1):
+                lg = la & lb
+                assert _ACTION_TABLE[la * 9 + lb * 3 + lg] == _A_NONE
+
+    def test_inconsistent_states_conflict(self):
+        from repro.csat.engine import (_A_CONFL_GA, _A_CONFL_GAB, _A_CONFL_GB)
+        assert _ACTION_TABLE[0 * 9 + 1 * 3 + 1] == _A_CONFL_GA
+        assert _ACTION_TABLE[1 * 9 + 0 * 3 + 1] == _A_CONFL_GB
+        assert _ACTION_TABLE[1 * 9 + 1 * 3 + 0] == _A_CONFL_GAB
+
+
+class TestBasicSolving:
+    def test_and_objective(self):
+        c = Circuit()
+        a, b = c.add_input(), c.add_input()
+        g = c.add_and(a, b)
+        c.add_output(g)
+        r = make_engine(c).solve(assumptions=[g])
+        assert r.status == SAT
+        assert r.model[a >> 1] and r.model[b >> 1]
+
+    def test_negated_objective(self):
+        c = Circuit()
+        a, b = c.add_input(), c.add_input()
+        g = c.add_and(a, b)
+        c.add_output(g)
+        r = make_engine(c).solve(assumptions=[g ^ 1])
+        assert r.status == SAT
+
+    def test_contradictory_assumptions_unsat(self):
+        c = Circuit()
+        a = c.add_input()
+        r = make_engine(c).solve(assumptions=[a, a ^ 1])
+        assert r.status == UNSAT
+
+    def test_structurally_unsat(self):
+        c = Circuit(strash=False)
+        a, b = c.add_input(), c.add_input()
+        g1 = c.add_and(a, b)
+        g2 = c.add_raw_and(a ^ 1, b)
+        both = c.add_and(g1, g2)  # a & ~a & b: unsatisfiable
+        r = make_engine(c).solve(assumptions=[both])
+        assert r.status == UNSAT
+
+    def test_xor_objective(self):
+        c = Circuit()
+        a, b = c.add_input(), c.add_input()
+        x = c.xor_(a, b)
+        r = make_engine(c).solve(assumptions=[x])
+        assert r.status == SAT
+        assert r.model[a >> 1] != r.model[b >> 1]
+
+    def test_constant_objective(self):
+        c = Circuit()
+        c.add_input()
+        assert make_engine(c).solve(assumptions=[1]).status == SAT
+        assert make_engine(c).solve(assumptions=[0]).status == UNSAT
+
+    def test_repeated_calls_consistent(self):
+        c = build_random_circuit(2, num_inputs=5, num_gates=30)
+        engine = make_engine(c)
+        first = engine.solve(assumptions=list(c.outputs)).status
+        for _ in range(3):
+            assert engine.solve(assumptions=list(c.outputs)).status == first
+
+    def test_degenerate_buffer_gate_handled(self):
+        # AND(x, x) can only come from raw construction; the engine models
+        # it as a buffer.  Asserting the gate low must force x low.
+        c = Circuit(strash=False)
+        a = c.add_input()
+        c._kind.append(2)      # forge AND(a, a) behind the builder's back
+        c._fanin0.append(a)
+        c._fanin1.append(a)
+        g = 2 * (c.num_nodes - 1)
+        c.add_output(g)
+        engine = make_engine(c)
+        r = engine.solve(assumptions=[g ^ 1])
+        assert r.status == SAT
+        assert r.model[a >> 1] is False
+
+    def test_degenerate_constant_gate_handled(self):
+        # AND(x, ~x) is constant FALSE; asserting it high is UNSAT.
+        c = Circuit(strash=False)
+        a = c.add_input()
+        c._kind.append(2)
+        c._fanin0.append(a)
+        c._fanin1.append(a ^ 1)
+        g = 2 * (c.num_nodes - 1)
+        c.add_output(g)
+        engine = make_engine(c)
+        assert engine.solve(assumptions=[g]).status == UNSAT
+        engine2 = make_engine(c)
+        assert engine2.solve(assumptions=[g ^ 1]).status == SAT
+
+
+class TestModes:
+    @pytest.mark.parametrize("use_jnode", [False, True])
+    def test_modes_agree(self, use_jnode):
+        for seed in range(20):
+            c = build_random_circuit(seed, num_inputs=4, num_gates=25)
+            r = make_engine(c, use_jnode=use_jnode).solve(
+                assumptions=list(c.outputs))
+            r2 = make_engine(c, use_jnode=not use_jnode).solve(
+                assumptions=list(c.outputs))
+            assert r.status == r2.status
+
+    def test_jnode_mode_partial_model_is_justified(self):
+        c = build_random_circuit(41, num_inputs=6, num_gates=40)
+        r = make_engine(c, use_jnode=True).solve(assumptions=list(c.outputs))
+        if r.status != SAT:
+            return
+        # Completing unassigned PIs arbitrarily must satisfy the objectives
+        # and agree with every assigned node.
+        inputs = {pi: r.model.get(pi, False) for pi in c.inputs}
+        vals = c.evaluate(inputs)
+        for node, val in r.model.items():
+            assert vals[node] == val
+        for o in c.outputs:
+            assert vals[o >> 1] ^ bool(o & 1)
+
+    def test_jnode_decisions_counted(self):
+        c = build_random_circuit(10, num_inputs=6, num_gates=60)
+        engine = make_engine(c, use_jnode=True)
+        r = engine.solve(assumptions=list(c.outputs))
+        if r.stats.decisions:
+            assert r.stats.jnode_decisions <= r.stats.decisions
+
+
+class TestLearnedClauses:
+    def test_add_learned_clause_unit(self):
+        c = Circuit()
+        a = c.add_input()
+        engine = make_engine(c)
+        engine.add_learned_clause([a])
+        r = engine.solve(assumptions=[a ^ 1])
+        assert r.status == UNSAT
+
+    def test_add_learned_clause_binary(self):
+        c = Circuit()
+        a, b = c.add_input(), c.add_input()
+        engine = make_engine(c)
+        engine.add_learned_clause([a ^ 1, b])  # a -> b
+        r = engine.solve(assumptions=[a, b ^ 1])
+        assert r.status == UNSAT
+        assert engine.solve(assumptions=[a, b]).status == SAT
+
+    def test_contradicting_units_poison_engine(self):
+        c = Circuit()
+        a = c.add_input()
+        engine = make_engine(c)
+        engine.add_learned_clause([a])
+        engine.add_learned_clause([a ^ 1])
+        assert not engine.ok
+        assert engine.solve().status == UNSAT
+
+    def test_explicit_watch_pointers_tracked(self):
+        c = build_random_circuit(3, num_inputs=5, num_gates=40)
+        engine = make_engine(c)
+        r = engine.solve(assumptions=list(c.outputs))
+        for ci in engine.learnt_idx:
+            clause = engine.clauses[ci]
+            if clause is None:
+                continue
+            w0, w1 = engine.watch_ptrs[ci]
+            assert w0 in clause and w1 in clause
+            assert clause[0] == w0 or clause[1] == w0 or clause[0] == w1
+
+    def test_max_learned_aborts(self):
+        # An engine on a hard-ish circuit stops after N learned gates.
+        c = build_random_circuit(19, num_inputs=8, num_gates=120)
+        engine = make_engine(c)
+        r = engine.solve(assumptions=list(c.outputs), max_learned=1)
+        assert r.status in (SAT, UNSAT, UNKNOWN)
+        if r.status == UNKNOWN:
+            assert r.stats.learned_clauses >= 1
+
+
+class TestLimits:
+    def test_conflict_limit(self):
+        from repro.gen.iscas import equiv_miter
+        m = equiv_miter("c3540")
+        engine = make_engine(m)
+        r = engine.solve(assumptions=list(m.outputs),
+                         limits=Limits(max_conflicts=5))
+        assert r.status == UNKNOWN
+
+    def test_time_limit(self):
+        from repro.gen.iscas import equiv_miter
+        m = equiv_miter("c6288")
+        engine = make_engine(m)
+        r = engine.solve(assumptions=list(m.outputs),
+                         limits=Limits(max_seconds=0.2))
+        assert r.status == UNKNOWN
+
+    def test_stats_delta_per_call(self):
+        c = build_random_circuit(6, num_inputs=5, num_gates=30)
+        engine = make_engine(c)
+        r1 = engine.solve(assumptions=list(c.outputs))
+        r2 = engine.solve(assumptions=list(c.outputs))
+        # Cumulative stats keep growing; per-call deltas stay sane.
+        assert engine.stats.decisions == (r1.stats.decisions
+                                          + r2.stats.decisions)
+
+
+class TestRestartRule:
+    def test_restart_threshold_triggers(self):
+        # A tiny window and an impossible threshold force restarts on any
+        # instance with conflicts.
+        from repro.gen.iscas import equiv_miter
+        m = equiv_miter("c1355")
+        engine = make_engine(m, restart_window=8, restart_threshold=1e9)
+        r = engine.solve(assumptions=list(m.outputs),
+                         limits=Limits(max_conflicts=200))
+        assert engine.stats.restarts > 0
+
+    def test_restarts_disabled(self):
+        from repro.gen.iscas import equiv_miter
+        m = equiv_miter("c1355")
+        engine = make_engine(m, restart_enabled=False, restart_window=8,
+                             restart_threshold=1e9)
+        engine.solve(assumptions=list(m.outputs),
+                     limits=Limits(max_conflicts=200))
+        assert engine.stats.restarts == 0

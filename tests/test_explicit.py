@@ -1,0 +1,161 @@
+"""Unit tests for explicit learning (incremental learn-from-conflict)."""
+
+import pytest
+
+from repro import Circuit, SolverOptions, UNSAT
+from repro.circuit.miter import miter_identical
+from repro.csat.engine import CSatEngine
+from repro.csat.explicit import (ExplicitReport, build_subproblems,
+                                 order_subproblems, run_explicit_learning)
+from repro.sim.correlation import CorrelationSet, find_correlations
+from conftest import build_full_adder
+
+
+def correlation_set(classes):
+    return CorrelationSet(classes=classes)
+
+
+class TestSubproblemGeneration:
+    def test_equal_pair_asserts_difference(self):
+        cs = correlation_set([[(5, 0), (9, 0)]])  # nodes 5 == 9 likely
+        subs = build_subproblems(cs, SolverOptions())
+        pair_subs = [s for s in subs if s.kind == "pair"]
+        assert len(pair_subs) == 2  # both polarities by default
+        assert sorted(pair_subs[0].assumptions) == [10, 19]  # n5=1, n9=0
+        assert sorted(pair_subs[1].assumptions) == [11, 18]  # n5=0, n9=1
+
+    def test_anti_pair_asserts_equality(self):
+        cs = correlation_set([[(5, 0), (9, 1)]])  # nodes 5 != 9 likely
+        subs = build_subproblems(cs, SolverOptions())
+        assert sorted(subs[0].assumptions) == [10, 18]  # both 1
+        assert sorted(subs[1].assumptions) == [11, 19]  # both 0
+
+    def test_single_polarity_option(self):
+        cs = correlation_set([[(5, 0), (9, 0)]])
+        subs = build_subproblems(
+            cs, SolverOptions(explicit_both_polarities=False))
+        assert len(subs) == 1
+
+    def test_const_correlation_asserts_opposite(self):
+        cs = correlation_set([[(0, 0), (7, 0), (8, 1)]])
+        subs = build_subproblems(cs, SolverOptions())
+        by_node = {s.assumptions[0] >> 1: s for s in subs
+                   if s.kind == "const"}
+        # node 7 likely 0 -> assert 1 (literal 14); node 8 likely 1 ->
+        # assert 0 (literal 17).
+        assert by_node[7].assumptions == [14]
+        assert by_node[8].assumptions == [17]
+
+    def test_pair_and_const_filters(self):
+        cs = correlation_set([[(0, 0), (7, 0)], [(5, 0), (9, 0)]])
+        only_pairs = build_subproblems(
+            cs, SolverOptions(explicit_use_consts=False))
+        assert all(s.kind == "pair" for s in only_pairs)
+        only_consts = build_subproblems(
+            cs, SolverOptions(explicit_use_pairs=False))
+        assert all(s.kind == "const" for s in only_consts)
+
+    def test_key_is_topological_position(self):
+        cs = correlation_set([[(5, 0), (9, 0)]])
+        subs = build_subproblems(cs, SolverOptions())
+        assert all(s.key == 9 for s in subs)
+
+
+class TestOrdering:
+    def _subs(self):
+        cs = correlation_set([[(5, 0), (9, 0)], [(2, 0), (3, 0)],
+                              [(12, 0), (20, 0)]])
+        return build_subproblems(
+            cs, SolverOptions(explicit_both_polarities=False))
+
+    def test_topological_sorts_by_key(self):
+        subs = order_subproblems(self._subs(), SolverOptions(), 100)
+        assert [s.key for s in subs] == [3, 9, 20]
+
+    def test_reverse(self):
+        subs = order_subproblems(
+            self._subs(), SolverOptions(explicit_order="reverse"), 100)
+        assert [s.key for s in subs] == [20, 9, 3]
+
+    def test_random_is_seeded_permutation(self):
+        opts = SolverOptions(explicit_order="random", explicit_order_seed=3)
+        subs1 = order_subproblems(self._subs(), opts, 100)
+        subs2 = order_subproblems(self._subs(), opts, 100)
+        assert [s.key for s in subs1] == [s.key for s in subs2]
+        assert sorted(s.key for s in subs1) == [3, 9, 20]
+
+    def test_fraction_keeps_topological_prefix(self):
+        # 2/3 of the sub-problem sequence, in topological order.
+        opts = SolverOptions(explicit_fraction=0.67)
+        subs = order_subproblems(self._subs(), opts, 100)
+        assert [s.key for s in subs] == [3, 9]
+
+    def test_fraction_prefix_precedes_disturbed_order(self):
+        # The kept subset is topological even when the order is disturbed.
+        opts = SolverOptions(explicit_fraction=0.67,
+                             explicit_order="reverse")
+        subs = order_subproblems(self._subs(), opts, 100)
+        assert sorted(s.key for s in subs) == [3, 9]
+
+    def test_fraction_one_keeps_all(self):
+        subs = order_subproblems(
+            self._subs(), SolverOptions(explicit_fraction=1.0), 100)
+        assert len(subs) == 3
+
+
+class TestRunExplicitLearning:
+    def _miter_engine(self):
+        m = miter_identical(build_full_adder())
+        opts = SolverOptions(implicit_learning=True, explicit_learning=True)
+        engine = CSatEngine(m, opts)
+        correlations = find_correlations(m, seed=5)
+        return m, engine, correlations
+
+    def test_identical_miter_subproblems_all_unsat(self):
+        m, engine, correlations = self._miter_engine()
+        report = run_explicit_learning(engine, correlations)
+        assert report.subproblems_run == report.subproblems_total > 0
+        assert report.subproblems_unsat == report.subproblems_run
+        assert report.learned_clauses > 0
+
+    def test_learning_preserves_answer(self):
+        m, engine, correlations = self._miter_engine()
+        run_explicit_learning(engine, correlations)
+        assert engine.solve(assumptions=list(m.outputs)).status == UNSAT
+
+    def test_learned_lemmas_are_sound(self):
+        # Every recorded lemma must hold on random simulation of the miter.
+        from repro.sim.bitsim import simulate_words, random_input_words
+        import random
+        m, engine, correlations = self._miter_engine()
+        run_explicit_learning(engine, correlations)
+        rng = random.Random(1)
+        vals = simulate_words(m, random_input_words(m, rng, 64), 64)
+        mask = (1 << 64) - 1
+        for clause in engine.clauses:
+            if clause is None:
+                continue
+            acc = 0
+            for lit in clause:
+                acc |= vals[lit >> 1] ^ (mask if (lit & 1) else 0)
+            assert acc == mask  # clause true under all 64 patterns
+
+    def test_learn_limit_bounds_each_subproblem(self):
+        m, engine, correlations = self._miter_engine()
+        engine.options.explicit_learn_limit = 1
+        report = run_explicit_learning(engine, correlations)
+        assert report.subproblems_run > 0
+
+    def test_deadline_stops_early(self):
+        import time
+        m, engine, correlations = self._miter_engine()
+        report = run_explicit_learning(engine, correlations,
+                                       deadline=time.perf_counter())
+        assert report.subproblems_run == 0
+
+    def test_report_fields(self):
+        m, engine, correlations = self._miter_engine()
+        report = run_explicit_learning(engine, correlations)
+        assert isinstance(report, ExplicitReport)
+        assert report.seconds >= 0
+        assert engine.stats.subproblems_solved == report.subproblems_run

@@ -1,0 +1,242 @@
+"""Unit tests for the arithmetic / ECC / ALU / random generators."""
+
+import random
+
+import pytest
+
+from repro import CircuitError
+from repro.gen.alu import alu, priority_selector
+from repro.gen.arith import (array_multiplier, carry_select_adder, comparator,
+                             csa_multiplier, ripple_adder, subtractor)
+from repro.gen.ecc import (hamming_checker, hamming_encoder, parity_chain,
+                           parity_tree)
+from repro.gen.random_circuit import random_dag
+from repro.sim import circuits_equivalent_exhaustive
+from repro.sim.bitsim import simulate_words, output_words
+
+
+def outputs_for(circuit, assignment):
+    """Output bits for a dict of input-name -> bool."""
+    by_node = {circuit.node_by_name(k): v for k, v in assignment.items()}
+    return circuit.output_values(by_node)
+
+
+def int_inputs(prefix, width, value):
+    return {"{}{}".format(prefix, i): bool((value >> i) & 1)
+            for i in range(width)}
+
+
+class TestAdders:
+    @pytest.mark.parametrize("width", [1, 3, 5])
+    def test_ripple_adder_adds(self, width):
+        c = ripple_adder(width)
+        for a in range(1 << width):
+            for b in range(0, 1 << width, max(1, width)):
+                ins = {**int_inputs("a", width, a), **int_inputs("b", width, b)}
+                outs = outputs_for(c, ins)
+                total = sum(int(v) << i for i, v in enumerate(outs[:-1]))
+                total += int(outs[-1]) << width
+                assert total == a + b
+
+    def test_carry_in(self):
+        c = ripple_adder(3, with_carry_in=True)
+        ins = {**int_inputs("a", 3, 5), **int_inputs("b", 3, 2), "cin": True}
+        outs = outputs_for(c, ins)
+        total = sum(int(v) << i for i, v in enumerate(outs[:-1]))
+        total += int(outs[-1]) << 3
+        assert total == 8
+
+    @pytest.mark.parametrize("block", [1, 2, 3])
+    def test_carry_select_equals_ripple(self, block):
+        assert circuits_equivalent_exhaustive(
+            ripple_adder(5), carry_select_adder(5, block=block))
+
+    def test_carry_select_structurally_different(self):
+        assert carry_select_adder(6).num_ands != ripple_adder(6).num_ands
+
+    def test_invalid_width(self):
+        with pytest.raises(CircuitError):
+            ripple_adder(0)
+
+    def test_subtractor(self):
+        c = subtractor(4)
+        for a, b in [(9, 3), (3, 9), (15, 15), (0, 1)]:
+            ins = {**int_inputs("a", 4, a), **int_inputs("b", 4, b)}
+            outs = outputs_for(c, ins)
+            diff = sum(int(v) << i for i, v in enumerate(outs[:-1]))
+            assert diff == (a - b) % 16
+            assert outs[-1] == (a >= b)  # no borrow
+
+
+class TestMultipliers:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4])
+    def test_array_multiplier_multiplies(self, width):
+        c = array_multiplier(width)
+        assert c.num_outputs == 2 * width
+        step = max(1, (1 << width) // 5)
+        for a in range(0, 1 << width, step):
+            for b in range(0, 1 << width, step):
+                ins = {**int_inputs("a", width, a), **int_inputs("b", width, b)}
+                outs = outputs_for(c, ins)
+                product = sum(int(v) << i for i, v in enumerate(outs))
+                assert product == a * b
+
+    @pytest.mark.parametrize("width", [2, 3])
+    def test_csa_equals_array(self, width):
+        assert circuits_equivalent_exhaustive(
+            array_multiplier(width), csa_multiplier(width))
+
+    def test_structurally_different(self):
+        assert (array_multiplier(4)._fanin0
+                != csa_multiplier(4)._fanin0)
+
+
+class TestComparator:
+    def test_comparator_relations(self):
+        c = comparator(4)
+        for a, b in [(3, 7), (7, 3), (5, 5), (0, 15), (15, 15)]:
+            ins = {**int_inputs("a", 4, a), **int_inputs("b", 4, b)}
+            lt, eq, gt = outputs_for(c, ins)
+            assert lt == (a < b)
+            assert eq == (a == b)
+            assert gt == (a > b)
+
+
+class TestParity:
+    @pytest.mark.parametrize("width", [1, 2, 7, 16])
+    def test_tree_matches_python_parity(self, width):
+        c = parity_tree(width)
+        rng = random.Random(width)
+        for _ in range(10):
+            v = rng.getrandbits(width)
+            ins = int_inputs("x", width, v)
+            assert outputs_for(c, ins)[0] == bool(bin(v).count("1") % 2)
+
+    @pytest.mark.parametrize("width", [2, 9])
+    def test_chain_equals_tree(self, width):
+        assert circuits_equivalent_exhaustive(parity_tree(width),
+                                              parity_chain(width))
+
+
+class TestHamming:
+    @pytest.mark.parametrize("data_bits", [4, 8, 11])
+    def test_encoder_checker_consistency(self, data_bits):
+        enc = hamming_encoder(data_bits)
+        chk = hamming_checker(data_bits)
+        rng = random.Random(data_bits)
+        r = enc.num_outputs - data_bits  # parity bit count
+        for _ in range(8):
+            data = rng.getrandbits(data_bits)
+            enc_out = outputs_for(enc, int_inputs("d", data_bits, data))
+            parities = enc_out[:r]
+            ins = int_inputs("d", data_bits, data)
+            ins.update({"p{}".format(i): parities[i] for i in range(r)})
+            chk_out = outputs_for(chk, ins)
+            assert chk_out[0] is False  # no error flagged
+            assert chk_out[1:] == [bool((data >> i) & 1)
+                                   for i in range(data_bits)]
+
+    @pytest.mark.parametrize("flip", [0, 3, 7])
+    def test_checker_corrects_single_data_error(self, flip):
+        data_bits = 8
+        enc = hamming_encoder(data_bits)
+        chk = hamming_checker(data_bits)
+        data = 0b10110100
+        r = enc.num_outputs - data_bits
+        parities = outputs_for(enc, int_inputs("d", data_bits, data))[:r]
+        corrupted = data ^ (1 << flip)
+        ins = int_inputs("d", data_bits, corrupted)
+        ins.update({"p{}".format(i): parities[i] for i in range(r)})
+        out = outputs_for(chk, ins)
+        assert out[0] is True  # error detected
+        assert out[1:] == [bool((data >> i) & 1) for i in range(data_bits)]
+
+
+class TestAlu:
+    def test_alu_operations(self):
+        width = 4
+        c = alu(width)
+        cases = {0: lambda a, b: (a + b) % 16,
+                 1: lambda a, b: (a - b) % 16,
+                 2: lambda a, b: a & b,
+                 3: lambda a, b: a | b,
+                 4: lambda a, b: a ^ b,
+                 5: lambda a, b: (~a) % 16,
+                 6: lambda a, b: (a << 1) % 16,
+                 7: lambda a, b: b}
+        for op, fn in cases.items():
+            for a, b in [(5, 3), (12, 9), (0, 15)]:
+                ins = {**int_inputs("a", width, a),
+                       **int_inputs("b", width, b),
+                       **int_inputs("op", 3, op)}
+                outs = outputs_for(c, ins)
+                result = sum(int(v) << i for i, v in enumerate(outs[:width]))
+                assert result == fn(a, b) & 15, (op, a, b)
+                assert outs[width] == (result == 0)  # zero flag
+
+    def test_priority_selector(self):
+        c = priority_selector(4, channels=3)
+        ins = {"req0": False, "req1": True, "req2": True}
+        for k in range(3):
+            for i in range(4):
+                ins["d{}_{}".format(k, i)] = bool((k + 1) >> i & 1)
+        outs = outputs_for(c, ins)
+        bus = sum(int(v) << i for i, v in enumerate(outs[:4]))
+        assert bus == 2  # channel 1 wins over channel 2
+        assert outs[4] is True  # valid
+
+    def test_priority_selector_idle(self):
+        c = priority_selector(3, channels=2)
+        ins = {"req0": False, "req1": False}
+        for k in range(2):
+            for i in range(3):
+                ins["d{}_{}".format(k, i)] = True
+        outs = outputs_for(c, ins)
+        assert outs[:3] == [False, False, False]
+        assert outs[3] is False
+
+
+class TestRandomDag:
+    def test_deterministic(self):
+        c1 = random_dag(5, 30, seed=9)
+        c2 = random_dag(5, 30, seed=9)
+        assert c1._fanin0 == c2._fanin0
+
+    def test_shape_parameters(self):
+        c = random_dag(6, 40, num_outputs=3, seed=1)
+        assert c.num_inputs == 6
+        assert c.num_outputs == 3
+        c.check()
+
+    def test_invalid_params(self):
+        with pytest.raises(CircuitError):
+            random_dag(0, 5)
+
+
+class TestHammingAlt:
+    @pytest.mark.parametrize("data_bits", [4, 8])
+    def test_alt_checker_equals_original(self, data_bits):
+        from repro.gen.ecc import hamming_checker_alt
+        assert circuits_equivalent_exhaustive(
+            hamming_checker(data_bits), hamming_checker_alt(data_bits))
+
+    def test_alt_structure_differs(self):
+        from repro.gen.ecc import hamming_checker_alt
+        left = hamming_checker(8)
+        right = hamming_checker_alt(8)
+        assert left._fanin0 != right._fanin0
+
+    def test_alt_corrects_single_error(self):
+        from repro.gen.ecc import hamming_checker_alt
+        data_bits = 8
+        enc = hamming_encoder(data_bits)
+        chk = hamming_checker_alt(data_bits)
+        data = 0b01011100
+        r = enc.num_outputs - data_bits
+        parities = outputs_for(enc, int_inputs("d", data_bits, data))[:r]
+        corrupted = data ^ (1 << 5)
+        ins = int_inputs("d", data_bits, corrupted)
+        ins.update({"p{}".format(i): parities[i] for i in range(r)})
+        out = outputs_for(chk, ins)
+        assert out[0] is True
+        assert out[1:] == [bool((data >> i) & 1) for i in range(data_bits)]

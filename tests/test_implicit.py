@@ -1,0 +1,84 @@
+"""Unit tests for implicit correlation learning (Algorithm IV.1)."""
+
+import pytest
+
+from repro import Circuit, SolverOptions, UNSAT
+from repro.circuit.miter import miter_identical
+from repro.csat.engine import CSatEngine
+from repro.csat.implicit import attach_implicit_learning
+from repro.sim.correlation import find_correlations
+from conftest import build_full_adder, build_random_circuit
+
+
+class TestAttachment:
+    def test_attach_returns_signal_count(self):
+        m = miter_identical(build_full_adder())
+        engine = CSatEngine(m, SolverOptions(implicit_learning=True))
+        correlations = find_correlations(m, seed=5)
+        count = attach_implicit_learning(engine, correlations)
+        assert count > 0
+        assert any(p is not None for p in engine.partner)
+
+    def test_partner_arrays_match_maps(self):
+        m = miter_identical(build_full_adder())
+        engine = CSatEngine(m, SolverOptions(implicit_learning=True))
+        correlations = find_correlations(m, seed=5)
+        attach_implicit_learning(engine, correlations)
+        for node, corr in correlations.partner_map().items():
+            assert engine.partner[node] == corr
+        for node, val in correlations.constant_map().items():
+            assert engine.const_corr[node] == val
+
+
+class TestDecisionBehaviour:
+    def test_correlation_decisions_happen(self):
+        m = miter_identical(build_full_adder())
+        engine = CSatEngine(m, SolverOptions(implicit_learning=True))
+        attach_implicit_learning(engine, find_correlations(m, seed=5))
+        r = engine.solve(assumptions=list(m.outputs))
+        assert r.status == UNSAT
+        assert r.stats.correlation_decisions > 0
+
+    def test_grouped_value_forces_conflict_direction(self):
+        # Two duplicated gates g1 == g2: once g1 is implied, the partner
+        # decision must try g2 = ~g1 (the conflicting value).
+        c = Circuit(strash=False)
+        a, b = c.add_input("a"), c.add_input("b")
+        g1 = c.add_and(a, b)
+        g2 = c.add_and(a, b)
+        top = c.add_and(g1, c.add_and(a, b ^ 1) ^ 1)  # force g1 via BCP
+        c.add_output(top)
+        c.add_output(g2)
+        engine = CSatEngine(c, SolverOptions(implicit_learning=True))
+        attach_implicit_learning(engine, find_correlations(c, seed=3))
+        r = engine.solve(assumptions=[top])
+        assert r.status == "SAT"
+
+    def test_answers_unchanged_by_implicit_learning(self):
+        for seed in range(15):
+            c = build_random_circuit(seed, num_inputs=5, num_gates=30)
+            plain = CSatEngine(c, SolverOptions())
+            base = plain.solve(assumptions=list(c.outputs)).status
+            eng = CSatEngine(c, SolverOptions(implicit_learning=True))
+            attach_implicit_learning(eng, find_correlations(c, seed=seed))
+            assert eng.solve(assumptions=list(c.outputs)).status == base
+
+    def test_stale_pending_entries_skipped(self):
+        # After a restart the pending stack is cleared; after backjumps,
+        # entries whose trigger was unassigned are skipped.  We can't easily
+        # reach into the search, but we can verify the invariant that a
+        # pending-driven decision never fires on an assigned node by simply
+        # solving a conflict-heavy miter to completion.
+        m = miter_identical(build_full_adder())
+        engine = CSatEngine(m, SolverOptions(implicit_learning=True,
+                                             restart_window=16,
+                                             restart_threshold=1e9))
+        attach_implicit_learning(engine, find_correlations(m, seed=5))
+        assert engine.solve(assumptions=list(m.outputs)).status == UNSAT
+
+    def test_no_correlations_means_plain_behaviour(self):
+        c = build_random_circuit(3, num_inputs=4, num_gates=15)
+        eng = CSatEngine(c, SolverOptions(implicit_learning=True))
+        # No attach call: partner map empty.
+        r = eng.solve(assumptions=list(c.outputs))
+        assert r.stats.correlation_decisions == 0

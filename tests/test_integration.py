@@ -1,0 +1,117 @@
+"""Integration tests: full pipelines across modules."""
+
+import random
+
+import pytest
+
+from repro import (CircuitSolver, CnfSolver, Limits, SAT, UNSAT,
+                   check_equivalence, preset, read_bench, sat_sweep,
+                   tseitin, write_bench)
+from repro.circuit.miter import miter, miter_identical
+from repro.circuit.rewrite import optimize
+from repro.gen.arith import (array_multiplier, carry_select_adder,
+                             csa_multiplier, ripple_adder)
+from repro.gen.ecc import parity_chain, parity_tree
+from repro.gen.iscas import equiv_miter, opt_miter
+from repro.sim import circuits_equivalent_exhaustive
+
+
+class TestEquivalenceFlows:
+    """End-to-end equivalence checks between independent implementations."""
+
+    def test_adder_implementations(self):
+        r = check_equivalence(ripple_adder(6), carry_select_adder(6, block=2),
+                              preset("explicit"))
+        assert r.status == UNSAT
+
+    def test_multiplier_implementations(self):
+        r = check_equivalence(array_multiplier(4), csa_multiplier(4),
+                              preset("explicit"),
+                              limits=Limits(max_seconds=60))
+        assert r.status == UNSAT
+
+    def test_parity_implementations(self):
+        r = check_equivalence(parity_tree(12), parity_chain(12),
+                              preset("explicit"))
+        assert r.status == UNSAT
+
+    def test_buggy_implementation_caught(self):
+        left = ripple_adder(5)
+        right = ripple_adder(5)
+        # Corrupt one output of the right copy.
+        right.outputs[2] ^= 1
+        r = check_equivalence(left, right, preset("implicit"))
+        assert r.status == SAT
+        # The counterexample is genuine: evaluate the miter.
+        m = miter(left, right)
+        r2 = CircuitSolver(m, preset("implicit")).solve()
+        inputs = {pi: r2.model.get(pi, False) for pi in m.inputs}
+        assert m.output_values(inputs) == [True]
+
+
+class TestFileRoundtripFlows:
+    def test_bench_to_solver_and_back(self, tmp_path):
+        original = equiv_miter("c5315")
+        path = tmp_path / "m.bench"
+        path.write_text(write_bench(original))
+        with open(path) as fh:
+            back = read_bench(fh, "reload")
+        r = CircuitSolver(back, preset("explicit")).solve(
+            limits=Limits(max_seconds=60))
+        assert r.status == UNSAT
+
+    def test_cnf_baseline_agrees_on_file_roundtrip(self, tmp_path):
+        m = opt_miter("c5315")
+        formula, _ = tseitin(m, objectives=list(m.outputs))
+        assert CnfSolver(formula).solve(
+            limits=Limits(max_seconds=60)).status == UNSAT
+
+
+class TestLearningPipelines:
+    def test_explicit_learning_reuses_across_solves(self):
+        m = equiv_miter("c1355")
+        solver = CircuitSolver(m, preset("explicit"))
+        r1 = solver.solve(limits=Limits(max_seconds=60))
+        assert r1.status == UNSAT
+        # Second solve reuses the learned clauses: trivial effort.
+        r2 = solver.solve(limits=Limits(max_seconds=60))
+        assert r2.status == UNSAT
+        assert r2.stats.conflicts <= max(10, r1.stats.conflicts // 2)
+
+    def test_sweep_then_solve(self):
+        m = equiv_miter("c1355")
+        swept = sat_sweep(m).circuit
+        r = CircuitSolver(swept, preset("csat-jnode")).solve(
+            limits=Limits(max_seconds=60))
+        assert r.status == UNSAT
+
+    def test_all_configurations_agree_on_opt_miters(self):
+        m = opt_miter("c5315")
+        for name in ("csat", "csat-jnode", "implicit", "explicit"):
+            r = CircuitSolver(m, preset(name)).solve(
+                limits=Limits(max_seconds=60))
+            assert r.status == UNSAT, name
+
+    def test_vliw_instance_all_configs_sat(self):
+        from repro.gen.velev import vliw_like
+        m = vliw_like(2, cnf_vars=60, cnf_density=4.5)
+        for name in ("csat-jnode", "implicit", "explicit"):
+            r = CircuitSolver(m, preset(name)).solve(
+                limits=Limits(max_seconds=60))
+            assert r.status == SAT, name
+            inputs = {pi: r.model.get(pi, False) for pi in m.inputs}
+            assert m.output_values(inputs) == [True]
+
+
+class TestCrossSolverFuzz:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_circuit_vs_cnf_on_random_miters(self, seed):
+        rng = random.Random(seed)
+        from conftest import build_random_circuit
+        base = build_random_circuit(seed + 900, num_inputs=5,
+                                    num_gates=rng.randint(10, 40))
+        m = miter(base, optimize(base, seed=seed))
+        formula, _ = tseitin(m, objectives=list(m.outputs))
+        cnf_status = CnfSolver(formula).solve().status
+        circ_status = CircuitSolver(m, preset("explicit")).solve().status
+        assert cnf_status == circ_status == UNSAT

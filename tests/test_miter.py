@@ -1,0 +1,116 @@
+"""Unit tests for miter construction."""
+
+import pytest
+
+from repro import Circuit, CircuitError
+from repro.circuit.miter import miter, miter_identical
+from repro.circuit.rewrite import optimize
+from repro.sim import truth_tables
+from conftest import build_full_adder, build_random_circuit
+
+
+def is_constant_false(circuit):
+    tts = truth_tables(circuit)
+    o = circuit.outputs[0]
+    mask = (1 << (1 << circuit.num_inputs)) - 1
+    return (tts[o >> 1] ^ (mask if (o & 1) else 0)) == 0
+
+
+class TestMiterIdentical:
+    def test_unsat_by_construction(self, full_adder):
+        m = miter_identical(full_adder)
+        m.check()
+        assert is_constant_false(m)
+
+    def test_name_suffix(self, full_adder):
+        assert miter_identical(full_adder).name == "full_adder.equiv"
+
+    def test_copies_not_merged(self, full_adder):
+        m = miter_identical(full_adder)
+        # Two raw copies plus XOR/reduction logic: strictly more than twice
+        # the gates of one copy (a strashed merge would collapse to ~one).
+        assert m.num_ands >= 2 * full_adder.num_ands
+
+    def test_and_style_also_unsat(self, full_adder):
+        m = miter_identical(full_adder, style="and")
+        assert is_constant_false(m)
+
+    def test_inputs_shared(self, full_adder):
+        m = miter_identical(full_adder)
+        assert m.num_inputs == full_adder.num_inputs
+
+
+class TestMiterGeneral:
+    def test_optimized_copy_unsat(self):
+        c = build_random_circuit(31, num_inputs=5, num_gates=30)
+        m = miter(c, optimize(c, seed=9))
+        assert is_constant_false(m)
+
+    def test_detects_inequivalence(self):
+        c1 = Circuit()
+        a, b = c1.add_input("a"), c1.add_input("b")
+        c1.add_output(c1.add_and(a, b))
+        c2 = Circuit()
+        a, b = c2.add_input("a"), c2.add_input("b")
+        c2.add_output(c2.or_(a, b))
+        m = miter(c1, c2)
+        assert not is_constant_false(m)
+
+    def test_and_style_needs_all_outputs_to_differ(self):
+        # f = (a, a&b) vs g = (~a, a&b): first outputs always differ,
+        # second never do -> OR-miter SAT, AND-miter UNSAT.
+        c1 = Circuit()
+        a, b = c1.add_input("a"), c1.add_input("b")
+        c1.add_output(a)
+        c1.add_output(c1.add_and(a, b))
+        c2 = Circuit()
+        a, b = c2.add_input("a"), c2.add_input("b")
+        c2.add_output(a ^ 1)
+        c2.add_output(c2.add_and(a, b))
+        assert not is_constant_false(miter(c1, c2, style="or"))
+        assert is_constant_false(miter(c1, c2, style="and"))
+
+    def test_input_count_mismatch_raises(self, full_adder):
+        other = Circuit()
+        other.add_input("x")
+        other.add_output(2)
+        other.add_output(3)
+        with pytest.raises(CircuitError):
+            miter(full_adder, other)
+
+    def test_output_count_mismatch_raises(self, full_adder):
+        other = Circuit()
+        for name in ("a", "b", "cin"):
+            other.add_input(name)
+        other.add_output(2)
+        with pytest.raises(CircuitError):
+            miter(full_adder, other)
+
+    def test_bad_style_raises(self, full_adder):
+        with pytest.raises(CircuitError):
+            miter(full_adder, full_adder, style="xor")
+
+    def test_matches_inputs_by_name(self):
+        c1 = Circuit()
+        a, b = c1.add_input("a"), c1.add_input("b")
+        c1.add_output(c1.add_and(a, b ^ 1))
+        c2 = Circuit()
+        b2, a2 = c2.add_input("b"), c2.add_input("a")  # permuted order
+        c2.add_output(c2.add_and(a2, b2 ^ 1))
+        assert is_constant_false(miter(c1, c2))
+
+    def test_positional_matching_when_requested(self):
+        c1 = Circuit()
+        a, b = c1.add_input("a"), c1.add_input("b")
+        c1.add_output(a)
+        c2 = Circuit()
+        b2, a2 = c2.add_input("b"), c2.add_input("a")
+        c2.add_output(a2)
+        # By name: equivalent.  By position: output compares a vs b.
+        assert is_constant_false(miter(c1, c2, match_by_name=True))
+        assert not is_constant_false(miter(c1, c2, match_by_name=False))
+
+    def test_single_output_result(self, full_adder):
+        m = miter_identical(full_adder)
+        assert m.num_outputs == 1
+        assert m.output_names == ["miter_out"]

@@ -1,0 +1,261 @@
+"""Unit tests for the AND-inverter netlist core."""
+
+import pytest
+
+from repro import Circuit, CircuitError
+from repro.circuit.netlist import (AND, CONST, FALSE, PI, TRUE, lit_is_neg,
+                                   lit_node, lit_not, lit_regular, lit_str,
+                                   make_lit)
+
+
+class TestLiterals:
+    def test_make_and_unpack(self):
+        assert make_lit(5) == 10
+        assert make_lit(5, True) == 11
+        assert lit_node(11) == 5
+        assert lit_is_neg(11)
+        assert not lit_is_neg(10)
+
+    def test_not_is_involution(self):
+        for lit in range(20):
+            assert lit_not(lit_not(lit)) == lit
+            assert lit_not(lit) != lit
+
+    def test_constants(self):
+        assert FALSE == 0
+        assert TRUE == lit_not(FALSE)
+
+    def test_regular(self):
+        assert lit_regular(11) == 10
+        assert lit_regular(10) == 10
+
+    def test_str(self):
+        assert lit_str(10) == "n5"
+        assert lit_str(11) == "~n5"
+
+
+class TestConstruction:
+    def test_empty_circuit_has_const_node(self):
+        c = Circuit()
+        assert c.num_nodes == 1
+        assert c.is_const(0)
+        assert c.kind(0) == CONST
+
+    def test_add_input(self):
+        c = Circuit()
+        a = c.add_input("a")
+        assert c.is_input(lit_node(a))
+        assert c.kind(lit_node(a)) == PI
+        assert c.num_inputs == 1
+        assert c.name_of(lit_node(a)) == "a"
+        assert c.node_by_name("a") == lit_node(a)
+
+    def test_add_and_creates_gate(self):
+        c = Circuit()
+        a, b = c.add_input(), c.add_input()
+        g = c.add_and(a, b)
+        assert c.is_and(lit_node(g))
+        assert c.kind(lit_node(g)) == AND
+        assert set(c.fanins(lit_node(g))) == {a, b}
+
+    def test_and_constant_folding(self):
+        c = Circuit()
+        a = c.add_input()
+        assert c.add_and(a, FALSE) == FALSE
+        assert c.add_and(FALSE, a) == FALSE
+        assert c.add_and(a, TRUE) == a
+        assert c.add_and(TRUE, a) == a
+
+    def test_and_trivial_rules(self):
+        c = Circuit()
+        a = c.add_input()
+        assert c.add_and(a, a) == a
+        assert c.add_and(a, lit_not(a)) == FALSE
+
+    def test_strashing_shares_gates(self):
+        c = Circuit()
+        a, b = c.add_input(), c.add_input()
+        g1 = c.add_and(a, b)
+        g2 = c.add_and(b, a)  # commuted
+        assert g1 == g2
+        assert c.num_ands == 1
+
+    def test_strash_disabled(self):
+        c = Circuit(strash=False)
+        a, b = c.add_input(), c.add_input()
+        g1 = c.add_and(a, b)
+        g2 = c.add_and(a, b)
+        assert g1 != g2
+        assert c.num_ands == 2
+
+    def test_raw_and_never_folds(self):
+        c = Circuit()
+        a = c.add_input()
+        b = c.add_input()
+        g = c.add_raw_and(a, b)
+        g2 = c.add_raw_and(a, b)
+        assert g != g2
+
+    def test_bad_literal_rejected(self):
+        c = Circuit()
+        a = c.add_input()
+        with pytest.raises(CircuitError):
+            c.add_and(a, 999)
+        with pytest.raises(CircuitError):
+            c.add_and(-2, a)
+
+    def test_duplicate_name_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(CircuitError):
+            c.add_input("a")
+
+    def test_outputs(self):
+        c = Circuit()
+        a = c.add_input()
+        c.add_output(a, "y")
+        c.add_output(lit_not(a))
+        assert c.num_outputs == 2
+        assert c.outputs == [a, lit_not(a)]
+        assert c.output_names == ["y", None]
+
+
+class TestFunctionalConstructors:
+    def eval1(self, c, out_lit, **inputs):
+        by_name = {c.node_by_name(k): v for k, v in inputs.items()}
+        vals = c.evaluate(by_name)
+        return vals[lit_node(out_lit)] ^ lit_is_neg(out_lit)
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_gate_semantics(self, a, b):
+        c = Circuit()
+        x, y = c.add_input("x"), c.add_input("y")
+        ops = {
+            "and": (c.add_and(x, y), a and b),
+            "or": (c.or_(x, y), a or b),
+            "nand": (c.nand_(x, y), not (a and b)),
+            "nor": (c.nor_(x, y), not (a or b)),
+            "xor": (c.xor_(x, y), a != b),
+            "xnor": (c.xnor_(x, y), a == b),
+        }
+        for name, (lit, expected) in ops.items():
+            got = self.eval1(c, lit, x=a, y=b)
+            assert got == bool(expected), name
+
+    @pytest.mark.parametrize("s,t,e", [(s, t, e) for s in (0, 1)
+                                       for t in (0, 1) for e in (0, 1)])
+    def test_mux(self, s, t, e):
+        c = Circuit()
+        si, ti, ei = c.add_input("s"), c.add_input("t"), c.add_input("e")
+        m = c.mux_(si, ti, ei)
+        assert self.eval1(c, m, s=s, t=t, e=e) == bool(t if s else e)
+
+    def test_and_many_empty_is_true(self):
+        c = Circuit()
+        assert c.and_many([]) == TRUE
+
+    def test_or_many_empty_is_false(self):
+        c = Circuit()
+        assert c.or_many([]) == FALSE
+
+    def test_xor_many_matches_parity(self):
+        c = Circuit()
+        xs = [c.add_input("x{}".format(i)) for i in range(5)]
+        out = c.xor_many(xs)
+        for pattern in range(32):
+            bits = [(pattern >> i) & 1 for i in range(5)]
+            inputs = {c.node_by_name("x{}".format(i)): bits[i]
+                      for i in range(5)}
+            vals = c.evaluate(inputs)
+            assert (vals[lit_node(out)] ^ lit_is_neg(out)) == bool(
+                sum(bits) % 2)
+
+
+class TestStructureQueries:
+    def test_node_order_is_topological(self, full_adder):
+        for n in full_adder.and_nodes():
+            f0, f1 = full_adder.fanins(n)
+            assert (f0 >> 1) < n and (f1 >> 1) < n
+
+    def test_levels(self):
+        c = Circuit()
+        a, b = c.add_input(), c.add_input()
+        g1 = c.add_and(a, b)
+        g2 = c.add_and(g1, a)
+        lev = c.levels()
+        assert lev[lit_node(a)] == 0
+        assert lev[lit_node(g1)] == 1
+        assert lev[lit_node(g2)] == 2
+
+    def test_max_level_uses_outputs(self):
+        c = Circuit()
+        a, b = c.add_input(), c.add_input()
+        g1 = c.add_and(a, b)
+        c.add_and(g1, b)  # deeper but dangling
+        c.add_output(g1)
+        assert c.max_level == 1
+
+    def test_fanouts(self):
+        c = Circuit()
+        a, b = c.add_input(), c.add_input()
+        g1 = c.add_and(a, b)
+        g2 = c.add_and(g1, b)
+        outs = c.fanouts()
+        assert outs[lit_node(g1)] == [lit_node(g2)]
+        assert lit_node(g1) in outs[lit_node(b)]
+        assert lit_node(g2) in outs[lit_node(b)]
+
+    def test_cone(self):
+        c = Circuit()
+        a, b, d = c.add_input(), c.add_input(), c.add_input()
+        g1 = c.add_and(a, b)
+        g2 = c.add_and(d, d ^ 1)  # folded to FALSE; make a real gate
+        g2 = c.add_and(d, b)
+        cone = c.cone([g1])
+        assert lit_node(g1) in cone
+        assert lit_node(a) in cone
+        assert lit_node(d) not in cone
+        assert cone == sorted(cone)
+
+    def test_evaluate_requires_all_inputs(self, full_adder):
+        with pytest.raises(CircuitError):
+            full_adder.evaluate({})
+
+    def test_output_values_full_adder(self, full_adder):
+        ins = full_adder.inputs
+        for a in (0, 1):
+            for b in (0, 1):
+                for cin in (0, 1):
+                    s, carry = full_adder.output_values(
+                        {ins[0]: a, ins[1]: b, ins[2]: cin})
+                    total = a + b + cin
+                    assert s == bool(total & 1)
+                    assert carry == bool(total >> 1)
+
+
+class TestWholeCircuit:
+    def test_copy_is_deep(self, full_adder):
+        c2 = full_adder.copy()
+        c2.add_input("extra")
+        assert c2.num_inputs == full_adder.num_inputs + 1
+        assert full_adder.node_by_name("extra") is None
+
+    def test_check_passes_on_valid(self, full_adder):
+        full_adder.check()
+
+    def test_check_catches_corruption(self, full_adder):
+        full_adder._kind.append(99)
+        full_adder._fanin0.append(-1)
+        full_adder._fanin1.append(-1)
+        with pytest.raises(CircuitError):
+            full_adder.check()
+
+    def test_stats(self, full_adder):
+        s = full_adder.stats()
+        assert s["inputs"] == 3
+        assert s["outputs"] == 2
+        assert s["ands"] == full_adder.num_ands
+        assert s["levels"] == full_adder.max_level
+
+    def test_repr_mentions_name(self, full_adder):
+        assert "full_adder" in repr(full_adder)

@@ -1,0 +1,91 @@
+"""Unit tests for solver options and presets."""
+
+import pytest
+
+from repro import SolverError, SolverOptions
+from repro.csat.options import (ORDER_RANDOM, ORDER_REVERSE,
+                                ORDER_TOPOLOGICAL, preset)
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        SolverOptions().validate()
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(SolverError):
+            SolverOptions(explicit_order="sideways").validate()
+
+    @pytest.mark.parametrize("frac", [-0.1, 1.5])
+    def test_bad_fraction_rejected(self, frac):
+        with pytest.raises(SolverError):
+            SolverOptions(explicit_fraction=frac).validate()
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(SolverError):
+            SolverOptions(restart_window=0).validate()
+
+    @pytest.mark.parametrize("order", [ORDER_TOPOLOGICAL, ORDER_REVERSE,
+                                       ORDER_RANDOM])
+    def test_all_orderings_accepted(self, order):
+        SolverOptions(explicit_order=order).validate()
+
+
+class TestReplace:
+    def test_replace_returns_copy(self):
+        base = SolverOptions()
+        changed = base.replace(use_jnode=False)
+        assert base.use_jnode is True
+        assert changed.use_jnode is False
+
+    def test_replace_keeps_other_fields(self):
+        base = SolverOptions(restart_window=99)
+        assert base.replace(use_jnode=False).restart_window == 99
+
+
+class TestPresets:
+    def test_csat_is_plain_vsids(self):
+        o = preset("csat")
+        assert not o.use_jnode
+        assert not o.implicit_learning
+        assert not o.explicit_learning
+
+    def test_csat_jnode(self):
+        o = preset("csat-jnode")
+        assert o.use_jnode
+        assert not o.implicit_learning
+
+    def test_implicit(self):
+        o = preset("implicit")
+        assert o.use_jnode and o.implicit_learning
+        assert not o.explicit_learning
+
+    def test_explicit_includes_implicit(self):
+        # Paper Section V: "our C-SAT-Jnode is the version including the
+        # implicit learning as well."
+        o = preset("explicit")
+        assert o.implicit_learning and o.explicit_learning
+        assert o.explicit_use_pairs and o.explicit_use_consts
+
+    def test_explicit_pair_only(self):
+        o = preset("explicit-pair")
+        assert o.explicit_use_pairs and not o.explicit_use_consts
+
+    def test_explicit_const_only(self):
+        o = preset("explicit-const")
+        assert o.explicit_use_consts and not o.explicit_use_pairs
+
+    def test_preset_overrides(self):
+        o = preset("explicit", explicit_fraction=0.5)
+        assert o.explicit_fraction == 0.5
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(SolverError):
+            preset("warp-speed")
+
+    def test_paper_defaults(self):
+        o = SolverOptions()
+        assert o.explicit_learn_limit == 10       # Section V bullet 1
+        assert o.restart_window == 4096           # Section IV-A
+        assert o.restart_threshold == 1.2
+        assert o.max_class_size == 3              # Section III
+        assert o.sim_stall_rounds == 4

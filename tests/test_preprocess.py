@@ -1,0 +1,113 @@
+"""Unit tests for CNF preprocessing."""
+
+import itertools
+import random
+
+import pytest
+
+from repro import CnfFormula, CnfSolver, SAT, UNSAT
+from repro.cnf.preprocess import preprocess
+
+
+def brute_force(formula):
+    for bits in itertools.product([False, True], repeat=formula.num_vars):
+        if formula.evaluate([False] + list(bits)):
+            return True
+    return False
+
+
+class TestUnits:
+    def test_unit_chain_fully_propagates(self):
+        f = CnfFormula(clauses=[[1], [-1, 2], [-2, 3]])
+        result = preprocess(f)
+        assert not result.unsat
+        assert result.units_propagated == 3
+        assert result.formula.num_clauses == 0
+        assert result.forced == {1: True, 2: True, 3: True}
+
+    def test_contradictory_units_unsat(self):
+        f = CnfFormula(clauses=[[1], [-1]])
+        assert preprocess(f).unsat
+
+    def test_unit_shrinks_clause_to_empty(self):
+        f = CnfFormula(clauses=[[1], [2], [-1, -2]])
+        assert preprocess(f).unsat
+
+
+class TestPureLiterals:
+    def test_pure_literal_removed(self):
+        f = CnfFormula(clauses=[[1, 2], [1, 3], [-2, 3]])
+        result = preprocess(f)
+        # 1 is pure positive -> its clauses vanish; then 3 is pure; etc.
+        assert result.pure_literals >= 1
+        assert not result.unsat
+
+    def test_pure_assignment_recorded(self):
+        f = CnfFormula(clauses=[[1, 2], [1, -2]])
+        result = preprocess(f)
+        assert result.forced.get(1) is True
+
+
+class TestTautologyAndSubsumption:
+    def test_tautology_removed(self):
+        f = CnfFormula(clauses=[[1, -1, 2], [2, 3]])
+        result = preprocess(f)
+        assert result.tautologies_removed == 1
+
+    def test_subsumption(self):
+        # The extra all-negative clause keeps every variable impure so that
+        # pure-literal elimination doesn't pre-empt the subsumption check.
+        f = CnfFormula(clauses=[[1, 2], [1, 2, 3], [1, 2, 4],
+                                [-1, -2, -3, -4]])
+        result = preprocess(f, subsumption=True)
+        assert result.clauses_subsumed == 2
+
+    def test_self_subsuming_resolution(self):
+        # (1 2) and (-1 2 3): resolving on 1 strengthens the second to
+        # (2 3).  The (-2 -3) clause keeps 2 and 3 impure.
+        f = CnfFormula(clauses=[[1, 2], [-1, 2, 3], [-2, -3]])
+        result = preprocess(f)
+        assert result.literals_strengthened >= 1
+
+    def test_subsumption_can_be_disabled(self):
+        f = CnfFormula(clauses=[[1, 2], [1, 2, 3], [-1, -2, -3]])
+        result = preprocess(f, subsumption=False)
+        assert result.clauses_subsumed == 0
+        assert result.formula.num_clauses == 3
+
+
+class TestEquisatisfiability:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_preserves_answer_and_models_extend(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(3, 9)
+        clauses = []
+        for _ in range(rng.randint(1, 3 * num_vars)):
+            width = rng.randint(1, 3)
+            vs = rng.sample(range(1, num_vars + 1), min(width, num_vars))
+            clauses.append([v if rng.random() < 0.5 else -v for v in vs])
+        f = CnfFormula(num_vars=num_vars, clauses=clauses)
+        expected = brute_force(f)
+        result = preprocess(f)
+        if result.unsat:
+            assert expected is False
+            return
+        solved = CnfSolver(result.formula).solve()
+        assert (solved.status == SAT) == expected
+        if solved.status == SAT:
+            model = result.extend_model(solved.model)
+            assignment = [False] * (f.num_vars + 1)
+            for var, value in model.items():
+                assignment[var] = value
+            assert f.evaluate(assignment)
+
+    def test_empty_formula(self):
+        result = preprocess(CnfFormula())
+        assert not result.unsat
+        assert result.formula.num_clauses == 0
+
+    def test_stats_fields_present(self):
+        f = CnfFormula(clauses=[[1], [1, 2], [-2, 3, -3]])
+        result = preprocess(f)
+        assert result.units_propagated >= 1
+        assert result.tautologies_removed == 1

@@ -1,0 +1,179 @@
+"""Unit tests for DRUP proof logging and checking."""
+
+import random
+
+import pytest
+
+from repro import (CnfFormula, CnfSolver, CircuitSolver, SAT, UNSAT, preset,
+                   tseitin)
+from repro.csat.engine import CSatEngine
+from repro.csat.options import SolverOptions
+from repro.proof import ProofLog, check_drup
+from conftest import build_full_adder, build_random_circuit
+
+
+def pigeonhole(holes):
+    def v(i, j):
+        return i * holes + j + 1
+    clauses = [[v(i, j) for j in range(holes)] for i in range(holes + 1)]
+    for j in range(holes):
+        for i1 in range(holes + 1):
+            for i2 in range(i1 + 1, holes + 1):
+                clauses.append([-v(i1, j), -v(i2, j)])
+    return CnfFormula(clauses=clauses)
+
+
+class TestProofLog:
+    def test_add_and_delete_steps(self):
+        log = ProofLog()
+        log.add([1, -2])
+        log.delete([1, -2])
+        log.add([])
+        assert len(log) == 3
+        assert log.complete
+
+    def test_to_text_format(self):
+        log = ProofLog()
+        log.add([1, -2])
+        log.delete([3])
+        text = log.to_text()
+        assert "1 -2 0" in text
+        assert "d 3 0" in text
+
+
+class TestChecker:
+    def test_valid_rup_step_accepted(self):
+        f = CnfFormula(clauses=[[1, 2], [-1, 2]])
+        log = ProofLog()
+        log.add([2])   # RUP: assume -2, both clauses become units on 1/-1
+        log.add([])    # with [2] present... the formula is SAT though!
+        result = check_drup(f, log)
+        # The empty clause is NOT derivable: the check must fail.
+        assert not result.ok
+
+    def test_bogus_step_rejected(self):
+        f = CnfFormula(clauses=[[1, 2]])
+        log = ProofLog()
+        log.add([-1])  # not RUP
+        assert not check_drup(f, log, require_empty=False).ok
+
+    def test_tautology_step_accepted(self):
+        f = CnfFormula(clauses=[[1]])
+        log = ProofLog()
+        log.add([2, -2])
+        assert check_drup(f, log, require_empty=False).ok
+
+    def test_requires_empty_by_default(self):
+        f = CnfFormula(clauses=[[1], [-1, 2]])
+        log = ProofLog()
+        log.add([2])
+        assert not check_drup(f, log).ok
+        assert check_drup(f, log, require_empty=False).ok
+
+
+class TestCnfSolverProofs:
+    def test_pigeonhole_proof_checks(self):
+        f = pigeonhole(3)
+        log = ProofLog()
+        solver = CnfSolver(f, proof=log)
+        assert solver.solve().status == UNSAT
+        assert log.complete
+        result = check_drup(f, log)
+        assert result.ok, result.reason
+
+    def test_trivial_unsat_proof(self):
+        f = CnfFormula(clauses=[[1], [-1]])
+        log = ProofLog()
+        assert CnfSolver(f, proof=log).solve().status == UNSAT
+        assert check_drup(f, log).ok
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_unsat_proofs_check(self, seed):
+        rng = random.Random(seed)
+        while True:
+            nv = rng.randint(4, 8)
+            clauses = []
+            for _ in range(6 * nv):
+                vs = rng.sample(range(1, nv + 1), 3)
+                clauses.append([v if rng.random() < 0.5 else -v for v in vs])
+            f = CnfFormula(num_vars=nv, clauses=clauses)
+            if CnfSolver(f).solve().status == UNSAT:
+                break
+        log = ProofLog()
+        assert CnfSolver(f, proof=log).solve().status == UNSAT
+        result = check_drup(f, log)
+        assert result.ok, result.reason
+
+    def test_sat_produces_incomplete_proof(self):
+        f = CnfFormula(clauses=[[1, 2]])
+        log = ProofLog()
+        assert CnfSolver(f, proof=log).solve().status == SAT
+        assert not log.complete
+
+
+class TestCircuitSolverProofs:
+    """The crown jewel: circuit-engine UNSAT proofs checked against the
+    independent Tseitin encoding."""
+
+    def _check_engine_proof(self, circuit, objectives, options=None):
+        log = ProofLog()
+        engine = CSatEngine(circuit, options or SolverOptions(), proof=log)
+        result = engine.solve(assumptions=objectives, proof_refutation=True)
+        if result.status != UNSAT:
+            return result.status, None
+        formula, _ = tseitin(circuit, objectives=objectives)
+        verdict = check_drup(formula, log)
+        return UNSAT, verdict
+
+    def test_simple_contradiction(self):
+        from repro import Circuit
+        c = Circuit(strash=False)
+        a, b = c.add_input(), c.add_input()
+        g1 = c.add_and(a, b)
+        g2 = c.add_raw_and(a ^ 1, b)
+        both = c.add_and(g1, g2)
+        c.add_output(both)
+        status, verdict = self._check_engine_proof(c, [both])
+        assert status == UNSAT
+        assert verdict.ok, verdict.reason
+
+    def test_miter_proof_checks(self):
+        from repro.circuit.miter import miter_identical
+        m = miter_identical(build_full_adder())
+        status, verdict = self._check_engine_proof(m, list(m.outputs))
+        assert status == UNSAT
+        assert verdict.ok, verdict.reason
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_unsat_circuit_proofs(self, seed):
+        rng = random.Random(seed)
+        while True:
+            c = build_random_circuit(seed * 31 + 5, num_inputs=4,
+                                     num_gates=rng.randint(10, 30))
+            probe = CSatEngine(c, SolverOptions())
+            if probe.solve(assumptions=list(c.outputs)).status == UNSAT:
+                break
+            seed += 1000
+        status, verdict = self._check_engine_proof(c, list(c.outputs))
+        assert status == UNSAT
+        assert verdict.ok, verdict.reason
+
+    def test_proof_with_explicit_learning(self):
+        """Explicit-learning lemmas (assumption refutations) must also be
+        RUP steps in the final proof."""
+        from repro.circuit.miter import miter_identical
+        from repro.csat.explicit import run_explicit_learning
+        from repro.sim.correlation import find_correlations
+        m = miter_identical(build_full_adder())
+        log = ProofLog()
+        options = SolverOptions(implicit_learning=True,
+                                explicit_learning=True)
+        engine = CSatEngine(m, options, proof=log)
+        correlations = find_correlations(m, seed=5)
+        run_explicit_learning(engine, correlations)
+        result = engine.solve(assumptions=list(m.outputs),
+                              proof_refutation=True)
+        assert result.status == UNSAT
+        formula, _ = tseitin(m, objectives=list(m.outputs))
+        verdict = check_drup(formula, log)
+        assert verdict.ok, verdict.reason

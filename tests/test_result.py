@@ -1,0 +1,93 @@
+"""Unit tests for result/stats types and the Frame abstraction."""
+
+import pytest
+
+from repro import Limits, SAT, SolverResult, SolverStats, UNKNOWN, UNSAT
+from repro.csat.frame import Frame, NO_REASON, UNASSIGNED
+
+
+class TestSolverStats:
+    def test_merge_sums_counters(self):
+        a = SolverStats(decisions=3, conflicts=2, max_decision_level=5)
+        b = SolverStats(decisions=4, conflicts=1, max_decision_level=9)
+        a.merge(b)
+        assert a.decisions == 7
+        assert a.conflicts == 3
+        assert a.max_decision_level == 9
+
+    def test_copy_is_independent(self):
+        a = SolverStats(decisions=1)
+        b = a.copy()
+        b.decisions = 99
+        assert a.decisions == 1
+
+    def test_delta_since(self):
+        before = SolverStats(decisions=10, conflicts=5)
+        after = SolverStats(decisions=25, conflicts=9,
+                            max_decision_level=4)
+        delta = after.delta_since(before)
+        assert delta.decisions == 15
+        assert delta.conflicts == 4
+        assert delta.max_decision_level == 4
+
+    def test_as_dict_roundtrip(self):
+        stats = SolverStats(decisions=2, implications=7)
+        clone = SolverStats(**stats.as_dict())
+        assert clone == stats
+
+
+class TestSolverResult:
+    def test_status_properties(self):
+        assert SolverResult(status=SAT).is_sat
+        assert SolverResult(status=UNSAT).is_unsat
+        r = SolverResult(status=UNKNOWN)
+        assert not r.is_sat and not r.is_unsat
+
+    def test_repr_contains_status(self):
+        assert "UNSAT" in repr(SolverResult(status=UNSAT))
+
+    def test_default_fields(self):
+        r = SolverResult(status=SAT)
+        assert r.model is None
+        assert r.sim_seconds == 0.0
+        assert isinstance(r.stats, SolverStats)
+
+
+class TestLimits:
+    def test_defaults_unlimited(self):
+        limits = Limits()
+        assert limits.max_conflicts is None
+        assert limits.max_decisions is None
+        assert limits.max_seconds is None
+
+
+class TestFrame:
+    def test_initial_state(self):
+        frame = Frame(5)
+        assert frame.values == [UNASSIGNED] * 5
+        assert frame.reasons == [NO_REASON] * 5
+        assert frame.decision_level == 0
+        assert frame.trail == []
+
+    def test_decision_level_tracks_trail_lim(self):
+        frame = Frame(3)
+        frame.trail_lim.append(0)
+        frame.trail_lim.append(1)
+        assert frame.decision_level == 2
+
+    def test_reset_clears_assignments(self):
+        frame = Frame(3)
+        frame.values[1] = 1
+        frame.trail.append(2)
+        frame.trail_lim.append(0)
+        frame.qhead = 1
+        frame.reset()
+        assert frame.values == [UNASSIGNED] * 3
+        assert frame.trail == []
+        assert frame.decision_level == 0
+        assert frame.qhead == 0
+
+    def test_slots_prevent_typos(self):
+        frame = Frame(2)
+        with pytest.raises(AttributeError):
+            frame.valuess = []

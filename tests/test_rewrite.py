@@ -1,0 +1,89 @@
+"""Unit tests for the function-preserving rewriter (Design Compiler stand-in)."""
+
+import pytest
+
+from repro import Circuit
+from repro.circuit.rewrite import optimize
+from repro.gen.arith import array_multiplier, ripple_adder
+from repro.sim import circuits_equivalent_exhaustive
+from conftest import build_full_adder, build_random_circuit
+
+
+class TestFunctionPreservation:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_circuits(self, seed):
+        c = build_random_circuit(seed, num_inputs=5, num_gates=35)
+        assert circuits_equivalent_exhaustive(c, optimize(c, seed=seed + 1))
+
+    @pytest.mark.parametrize("rounds", [1, 2, 4])
+    def test_multiple_rounds(self, rounds):
+        c = build_random_circuit(77, num_inputs=6, num_gates=40)
+        assert circuits_equivalent_exhaustive(
+            c, optimize(c, seed=5, rounds=rounds))
+
+    def test_full_adder(self, full_adder):
+        assert circuits_equivalent_exhaustive(full_adder,
+                                              optimize(full_adder, seed=2))
+
+    def test_xor_heavy_circuit(self):
+        c = Circuit()
+        xs = [c.add_input("x{}".format(i)) for i in range(6)]
+        c.add_output(c.xor_many(xs), "p")
+        assert circuits_equivalent_exhaustive(c, optimize(c, seed=3))
+
+    def test_mux_heavy_circuit(self):
+        c = Circuit()
+        s0, s1 = c.add_input("s0"), c.add_input("s1")
+        d = [c.add_input("d{}".format(i)) for i in range(4)]
+        y = c.mux_(s1, c.mux_(s0, d[3], d[2]), c.mux_(s0, d[1], d[0]))
+        c.add_output(y)
+        assert circuits_equivalent_exhaustive(c, optimize(c, seed=4))
+
+    def test_multiplier(self):
+        m = array_multiplier(4)
+        assert circuits_equivalent_exhaustive(m, optimize(m, seed=8))
+
+    def test_adder(self):
+        a = ripple_adder(6)
+        assert circuits_equivalent_exhaustive(a, optimize(a, seed=8))
+
+
+class TestInterface:
+    def test_inputs_preserved(self, full_adder):
+        opt = optimize(full_adder, seed=1)
+        assert opt.num_inputs == full_adder.num_inputs
+        assert ([opt.name_of(p) for p in opt.inputs]
+                == [full_adder.name_of(p) for p in full_adder.inputs])
+
+    def test_output_names_preserved(self, full_adder):
+        opt = optimize(full_adder, seed=1)
+        assert opt.output_names == full_adder.output_names
+
+    def test_default_name_suffix(self, full_adder):
+        assert optimize(full_adder, seed=1).name == "full_adder.opt"
+        assert optimize(full_adder, seed=1, name="z").name == "z"
+
+    def test_deterministic_in_seed(self):
+        c = build_random_circuit(5, num_inputs=5, num_gates=30)
+        o1 = optimize(c, seed=42)
+        o2 = optimize(c, seed=42)
+        assert o1._fanin0 == o2._fanin0 and o1._fanin1 == o2._fanin1
+
+    def test_structure_actually_changes(self):
+        # On a reasonably sized circuit the gate wiring must move.
+        c = array_multiplier(4)
+        opt = optimize(c, seed=1)
+        same_shape = (opt._fanin0 == c._fanin0 and opt._fanin1 == c._fanin1)
+        assert not same_shape
+
+    def test_dead_logic_pruned(self):
+        c = Circuit()
+        a, b = c.add_input("a"), c.add_input("b")
+        g = c.add_and(a, b)
+        c.add_and(g, a)  # dangling gate
+        c.add_output(g)
+        opt = optimize(c, seed=0)
+        assert opt.num_ands <= c.num_ands
+
+    def test_validates(self, full_adder):
+        optimize(full_adder, seed=6).check()

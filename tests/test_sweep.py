@@ -1,0 +1,100 @@
+"""Unit tests for SAT sweeping."""
+
+import random
+
+import pytest
+
+from repro import Circuit
+from repro.circuit.miter import miter_identical
+from repro.circuit.rewrite import optimize
+from repro.core.sweep import sat_sweep
+from repro.gen.arith import ripple_adder
+from repro.gen.iscas import circuit_by_name
+from repro.sim import circuits_equivalent_exhaustive
+from conftest import build_full_adder, build_random_circuit
+
+
+class TestSatSweep:
+    def test_duplicate_gates_merged(self):
+        c = Circuit(strash=False)
+        a, b = c.add_input("a"), c.add_input("b")
+        g1 = c.add_and(a, b)
+        g2 = c.add_and(a, b)
+        c.add_output(c.or_(g1, g2), "y")
+        result = sat_sweep(c)
+        assert result.merged_pairs >= 1
+        assert result.gates_after < result.gates_before
+        assert circuits_equivalent_exhaustive(c, result.circuit)
+
+    def test_constant_gates_folded(self):
+        c = Circuit(strash=False)
+        a, b = c.add_input("a"), c.add_input("b")
+        zero = c.add_raw_and(a, a ^ 1)  # constant 0
+        c.add_output(c.or_(b, zero), "y")
+        result = sat_sweep(c)
+        assert result.merged_constants >= 1
+        assert circuits_equivalent_exhaustive(c, result.circuit)
+
+    def test_identical_miter_collapses(self):
+        m = miter_identical(build_full_adder())
+        result = sat_sweep(m)
+        assert result.merged_pairs > 0
+        assert result.gates_after < result.gates_before
+        assert circuits_equivalent_exhaustive(m, result.circuit)
+
+    def test_interface_preserved(self):
+        m = miter_identical(build_full_adder())
+        swept = sat_sweep(m).circuit
+        assert ([swept.name_of(p) for p in swept.inputs]
+                == [m.name_of(p) for p in m.inputs])
+        assert swept.output_names == m.output_names
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_circuits_function_preserved(self, seed):
+        c = build_random_circuit(seed + 400, num_inputs=5, num_gates=30)
+        result = sat_sweep(c, seed=seed)
+        assert circuits_equivalent_exhaustive(c, result.circuit)
+
+    def test_optimized_copy_miter(self):
+        base = ripple_adder(4)
+        m = miter_identical(optimize(base, seed=5))
+        result = sat_sweep(m)
+        assert result.merged_pairs > 0
+        assert circuits_equivalent_exhaustive(m, result.circuit)
+
+    def test_anti_equivalent_signals_merged(self):
+        c = Circuit(strash=False)
+        a, b = c.add_input("a"), c.add_input("b")
+        g = c.add_and(a, b)
+        # h computes ~(a & b) structurally differently: ~a | ~b.
+        h = c.or_(a ^ 1, b ^ 1)
+        c.add_output(g, "g")
+        c.add_output(h, "h")
+        result = sat_sweep(c)
+        assert result.merged_pairs >= 1
+        assert circuits_equivalent_exhaustive(c, result.circuit)
+
+    def test_refuted_candidates_counted(self):
+        # Two gates that agree on random patterns only by luck are hard to
+        # construct deterministically; instead force a tiny budget so some
+        # candidates go undecided, and check soundness is kept.
+        m = miter_identical(circuit_by_name("c5315"))
+        result = sat_sweep(m, per_candidate_conflicts=1)
+        # With a 1-conflict budget most proofs fail -> undecided, never
+        # wrongly merged.
+        assert result.undecided + result.merged_pairs + result.refuted > 0
+        import random as _r
+        from repro.sim.bitsim import (output_words, random_input_words,
+                                      simulate_words)
+        rng = _r.Random(9)
+        vals = simulate_words(result.circuit,
+                              random_input_words(result.circuit, rng, 64), 64)
+        assert output_words(result.circuit, vals, 64) == [0]
+
+    def test_report_fields(self):
+        m = miter_identical(build_full_adder())
+        result = sat_sweep(m)
+        assert result.gates_before == m.num_ands
+        assert result.gates_after == result.circuit.num_ands
+        assert result.seconds >= 0
+        assert isinstance(result.substitutions, dict)

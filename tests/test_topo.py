@@ -1,0 +1,127 @@
+"""Unit tests for topological utilities."""
+
+import pytest
+
+from repro import Circuit, CircuitError
+from repro.circuit.topo import (append_circuit, extract_cone, restrash,
+                                topological_order, transitive_fanout)
+from repro.sim import circuits_equivalent_exhaustive
+from conftest import build_full_adder, build_random_circuit
+
+
+class TestTopologicalOrder:
+    def test_full_order_is_node_range(self, full_adder):
+        assert topological_order(full_adder) == list(
+            range(full_adder.num_nodes))
+
+    def test_restricted_order_is_cone(self, full_adder):
+        out = full_adder.outputs[0]
+        order = topological_order(full_adder, roots=[out])
+        assert order == full_adder.cone([out])
+        for n in order:
+            if full_adder.is_and(n):
+                f0, f1 = full_adder.fanins(n)
+                assert (f0 >> 1) in order and (f1 >> 1) in order
+
+
+class TestTransitiveFanout:
+    def test_from_input_reaches_outputs(self, full_adder):
+        pi = full_adder.inputs[0]
+        tfo = transitive_fanout(full_adder, [pi])
+        assert pi in tfo
+        for o in full_adder.outputs:
+            assert (o >> 1) in tfo
+
+    def test_from_output_node_is_self(self, full_adder):
+        node = full_adder.outputs[0] >> 1
+        assert transitive_fanout(full_adder, [node]) == [node]
+
+    def test_result_sorted(self, full_adder):
+        tfo = transitive_fanout(full_adder, [full_adder.inputs[1]])
+        assert tfo == sorted(tfo)
+
+
+class TestAppendCircuit:
+    def test_roundtrip_function(self, full_adder):
+        dst = Circuit("dst")
+        imap = {pi: dst.add_input(full_adder.name_of(pi))
+                for pi in full_adder.inputs}
+        m = append_circuit(dst, full_adder, imap)
+        for lit, name in zip(full_adder.outputs, full_adder.output_names):
+            dst.add_output(m[lit >> 1] ^ (lit & 1), name)
+        assert circuits_equivalent_exhaustive(full_adder, dst)
+
+    def test_missing_input_map_raises(self, full_adder):
+        dst = Circuit("dst")
+        with pytest.raises(CircuitError):
+            append_circuit(dst, full_adder, {})
+
+    def test_raw_preserves_gate_count(self):
+        src = build_random_circuit(3, num_inputs=4, num_gates=20)
+        dst = Circuit("dst", strash=True)
+        imap = {pi: dst.add_input() for pi in src.inputs}
+        append_circuit(dst, src, imap, raw=True)
+        assert dst.num_ands == src.num_ands
+
+    def test_strashed_append_may_shrink(self):
+        src = Circuit("dup", strash=False)
+        a, b = src.add_input(), src.add_input()
+        g1 = src.add_and(a, b)
+        g2 = src.add_and(a, b)  # duplicate gate (strash off)
+        src.add_output(g1)
+        src.add_output(g2)
+        dst = Circuit("dst", strash=True)
+        imap = {pi: dst.add_input() for pi in src.inputs}
+        m = append_circuit(dst, src, imap)
+        assert m[g1 >> 1] == m[g2 >> 1]
+        assert dst.num_ands == 1
+
+
+class TestExtractCone:
+    def test_extracted_cone_matches_function(self, full_adder):
+        out = full_adder.outputs[0]
+        sub, node_map = extract_cone(full_adder, [out])
+        assert sub.num_outputs == 1
+        # Evaluate both on all assignments of the cone's support.
+        support = [pi for pi in full_adder.inputs
+                   if pi in full_adder.cone([out])]
+        assert len(sub.inputs) == len(support)
+        for pattern in range(1 << len(support)):
+            big_inputs = {pi: False for pi in full_adder.inputs}
+            small_inputs = {}
+            for i, pi in enumerate(support):
+                val = bool((pattern >> i) & 1)
+                big_inputs[pi] = val
+                small_inputs[sub.inputs[i]] = val
+            expect = full_adder.output_values(big_inputs)[0]
+            assert sub.output_values(small_inputs)[0] == expect
+
+    def test_cone_prunes_unrelated_logic(self):
+        c = Circuit()
+        a, b, d = c.add_input("a"), c.add_input("b"), c.add_input("d")
+        g1 = c.add_and(a, b)
+        c.add_and(d, b)  # unrelated
+        sub, _ = extract_cone(c, [g1])
+        assert sub.num_inputs == 2
+        assert sub.num_ands == 1
+
+
+class TestRestrash:
+    def test_function_preserved(self):
+        src = build_random_circuit(9, num_inputs=5, num_gates=30)
+        out, _ = restrash(src)
+        assert circuits_equivalent_exhaustive(src, out)
+
+    def test_merges_duplicates(self):
+        src = Circuit("dup", strash=False)
+        a, b = src.add_input("a"), src.add_input("b")
+        g1 = src.add_and(a, b)
+        g2 = src.add_and(a, b)
+        src.add_output(src.add_and(g1, g2))
+        out, _ = restrash(src)
+        assert out.num_ands < src.num_ands
+
+    def test_inputs_preserved_in_order(self, full_adder):
+        out, _ = restrash(full_adder)
+        assert [out.name_of(p) for p in out.inputs] == \
+            [full_adder.name_of(p) for p in full_adder.inputs]

@@ -1,0 +1,104 @@
+"""Unit tests for circuit validation and statistics."""
+
+import pytest
+
+from repro import Circuit, CircuitError
+from repro.circuit.validate import statistics, validate
+from conftest import build_full_adder
+
+
+class TestValidate:
+    def test_clean_circuit(self, full_adder):
+        report = validate(full_adder)
+        assert report.ok
+        assert not report.warnings
+        report.raise_on_error()  # must not raise
+
+    def test_degenerate_gate_warns(self):
+        c = Circuit(strash=False)
+        a = c.add_input("a")
+        c._kind.append(2)
+        c._fanin0.append(a)
+        c._fanin1.append(a)
+        c.add_output(2 * (c.num_nodes - 1))
+        report = validate(c)
+        assert report.ok  # legal structure, solver-level concern
+        assert any("degenerate" in w for w in report.warnings)
+
+    def test_dead_logic_warns(self):
+        c = Circuit()
+        a, b = c.add_input("a"), c.add_input("b")
+        g = c.add_and(a, b)
+        c.add_and(g, a ^ 1)  # dangling
+        c.add_output(g)
+        report = validate(c)
+        assert any("do not reach" in w for w in report.warnings)
+
+    def test_unused_input_warns(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.add_input("b")
+        c.add_output(a)
+        report = validate(c)
+        assert any("input(s)" in w for w in report.warnings)
+
+    def test_no_outputs_warns(self):
+        c = Circuit()
+        c.add_input("a")
+        report = validate(c)
+        assert any("no outputs" in w for w in report.warnings)
+
+    def test_structural_corruption_is_error(self, full_adder):
+        full_adder._fanin0[next(full_adder.and_nodes())] = 999
+        report = validate(full_adder)
+        assert not report.ok
+        with pytest.raises(CircuitError):
+            report.raise_on_error()
+
+    def test_constant_fanin_warns(self):
+        c = Circuit(strash=False)
+        a = c.add_input("a")
+        g = c.add_raw_and(a, 1)  # reads constant TRUE
+        c.add_output(g)
+        report = validate(c)
+        assert any("constant node" in w for w in report.warnings)
+
+
+class TestStatistics:
+    def test_full_adder_profile(self, full_adder):
+        stats = statistics(full_adder)
+        assert stats.inputs == 3
+        assert stats.outputs == 2
+        assert stats.ands == full_adder.num_ands
+        assert stats.depth == full_adder.max_level
+        assert stats.dead_gates == 0
+        assert sum(stats.level_histogram.values()) == stats.ands
+        assert stats.max_fanout >= 1
+        assert stats.avg_fanout > 0
+        assert len(stats.output_cone_sizes) == 2
+
+    def test_xor_blocks_counted(self):
+        c = Circuit()
+        xs = [c.add_input("x{}".format(i)) for i in range(4)]
+        c.add_output(c.xor_many(xs))
+        stats = statistics(c)
+        assert stats.xor_blocks >= 1
+
+    def test_mux_blocks_counted(self):
+        c = Circuit()
+        s, t, e = (c.add_input(n) for n in "ste")
+        c.add_output(c.mux_(s, t, e))
+        stats = statistics(c)
+        assert stats.mux_blocks >= 1
+
+    def test_dead_gates_counted(self):
+        c = Circuit()
+        a, b = c.add_input("a"), c.add_input("b")
+        g = c.add_and(a, b)
+        c.add_and(g, a ^ 1)
+        c.add_output(g)
+        assert statistics(c).dead_gates == 1
+
+    def test_summary_is_text(self, full_adder):
+        text = statistics(full_adder).summary()
+        assert "nodes=" in text and "fanout" in text

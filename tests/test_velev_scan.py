@@ -1,0 +1,97 @@
+"""Unit tests for the Velev-style SAT instances and scan-style miters."""
+
+import random
+
+import pytest
+
+from repro import CircuitError, CircuitSolver, Limits, SAT, UNSAT, preset
+from repro.gen.scan import (scan_catalog_names, scan_circuit_by_name,
+                            scan_equiv_miter, scan_like)
+from repro.gen.velev import vliw_like
+from repro.sim.bitsim import (output_words, random_input_words,
+                              simulate_words)
+
+
+class TestVliw:
+    def test_deterministic(self):
+        m1 = vliw_like(3, cnf_vars=40)
+        m2 = vliw_like(3, cnf_vars=40)
+        assert m1._fanin0 == m2._fanin0
+
+    def test_different_indices_differ(self):
+        assert (vliw_like(1, cnf_vars=40)._fanin0
+                != vliw_like(2, cnf_vars=40)._fanin0)
+
+    def test_single_sat_output(self):
+        m = vliw_like(2, cnf_vars=40)
+        assert m.num_outputs == 1
+        assert m.output_names == ["sat"]
+
+    def test_mixed_structure(self):
+        # Control inputs (CNF part) and datapath inputs both present.
+        m = vliw_like(2, cnf_vars=40)
+        names = [m.name_of(pi) for pi in m.inputs]
+        assert any(n.startswith("ctl") for n in names)
+        assert any(not n.startswith("ctl") for n in names)
+
+    @pytest.mark.parametrize("idx", [1, 2, 3])
+    def test_satisfiable_by_construction(self, idx):
+        # Small variants solve fast; the answer must be SAT.
+        m = vliw_like(idx, cnf_vars=30, cnf_density=4.0, bridge_density=0.3)
+        r = CircuitSolver(m, preset("csat-jnode")).solve(
+            limits=Limits(max_seconds=30))
+        assert r.status == SAT
+
+    def test_model_is_genuine(self):
+        m = vliw_like(1, cnf_vars=30, cnf_density=4.0, bridge_density=0.3)
+        r = CircuitSolver(m, preset("implicit")).solve(
+            limits=Limits(max_seconds=30))
+        assert r.status == SAT
+        inputs = {pi: r.model.get(pi, False) for pi in m.inputs}
+        assert m.output_values(inputs) == [True]
+
+
+class TestScan:
+    def test_catalog(self):
+        assert scan_catalog_names() == ["s13207", "s15850", "s35932",
+                                        "s38417", "s38584"]
+
+    @pytest.mark.parametrize("name", ["s13207", "s38584"])
+    def test_buildable(self, name):
+        c = scan_circuit_by_name(name)
+        c.check()
+        assert c.num_outputs >= 20
+
+    def test_unknown_name(self):
+        with pytest.raises(CircuitError):
+            scan_circuit_by_name("s999")
+
+    def test_shallow_by_construction(self):
+        # The paper's point about scan circuits: depth is small.
+        for name in scan_catalog_names():
+            c = scan_circuit_by_name(name)
+            assert c.max_level <= 14
+
+    def test_scan_like_params(self):
+        c = scan_like(10, support=4, depth=3, num_state=12, num_pi=4, seed=2)
+        assert c.num_outputs == 10
+        assert c.num_inputs == 16
+
+    def test_invalid_params(self):
+        with pytest.raises(CircuitError):
+            scan_like(0)
+
+    def test_equiv_miter_never_fires_on_sim(self):
+        m = scan_equiv_miter("s13207")
+        rng = random.Random(8)
+        vals = simulate_words(m, random_input_words(m, rng, 64), 64)
+        assert output_words(m, vals, 64) == [0]
+
+    def test_equiv_miter_unsat(self):
+        m = scan_equiv_miter("s13207")
+        r = CircuitSolver(m, preset("explicit")).solve(
+            limits=Limits(max_seconds=30))
+        assert r.status == UNSAT
+
+    def test_miter_name(self):
+        assert scan_equiv_miter("s15850").name == "s15850.scan.equiv"
