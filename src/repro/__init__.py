@@ -27,12 +27,15 @@ from .cnf import CnfFormula, CnfSolver, read_dimacs, solve_formula, write_dimacs
 from .core import (CircuitSolver, SweepResult, check_equivalence, sat_sweep,
                    solve_circuit)
 from .csat import CSatEngine, SolverOptions, preset
-from .errors import (CircuitError, ParseError, ReproError,
-                     ResourceLimitExceeded, SolverError)
+from .errors import (CertificationError, CircuitError, ParseError,
+                     ReproError, ResourceLimitExceeded, SolverError)
 from .proof import ProofLog, check_drup
 from .result import Limits, SAT, SolverResult, SolverStats, UNKNOWN, UNSAT
 from .sim import (CorrelationSet, find_correlations, simulate_random,
                   simulate_words, truth_tables)
+from .verify import (Certificate, OracleReport, certify_cnf_result,
+                     certify_result, differential_check, run_fuzz,
+                     shrink_circuit, shrink_clauses)
 
 __version__ = "1.0.0"
 
@@ -44,11 +47,13 @@ __all__ = [
     "CircuitSolver", "check_equivalence", "solve_circuit",
     "SweepResult", "sat_sweep",
     "CSatEngine", "SolverOptions", "preset",
-    "CircuitError", "ParseError", "ReproError", "ResourceLimitExceeded",
-    "SolverError",
+    "CertificationError", "CircuitError", "ParseError", "ReproError",
+    "ResourceLimitExceeded", "SolverError",
     "ProofLog", "check_drup",
     "Limits", "SAT", "SolverResult", "SolverStats", "UNKNOWN", "UNSAT",
     "CorrelationSet", "find_correlations", "simulate_random",
     "simulate_words", "truth_tables",
+    "Certificate", "OracleReport", "certify_cnf_result", "certify_result",
+    "differential_check", "run_fuzz", "shrink_circuit", "shrink_clauses",
     "__version__",
 ]

@@ -14,6 +14,9 @@ Commands
 ``check-proof``verify a DRUP proof produced by ``solve --proof``
 ``gen``        emit one of the built-in benchmark circuits as ``.bench``
 ``bench``      regenerate one of the paper's tables
+``fuzz``       differential fuzzing: random circuits through every engine,
+               cross-checked and certified; failures shrunk into a corpus
+``oracle``     run one circuit through every engine and compare answers
 """
 
 from __future__ import annotations
@@ -237,6 +240,52 @@ def cmd_check_proof(args) -> int:
     return 1
 
 
+def cmd_fuzz(args) -> int:
+    from .result import Limits as _Limits
+    from .verify.fuzz import DEFAULT_CASE_LIMITS, run_fuzz
+
+    limits = DEFAULT_CASE_LIMITS
+    if args.budget is not None:
+        limits = _Limits(max_conflicts=limits.max_conflicts,
+                         max_seconds=args.budget)
+
+    def progress(index, oracle):
+        if args.verbose:
+            print("case {:5d}: {}".format(index, oracle.summary()))
+        elif index and index % 50 == 0:
+            print("... {} cases".format(index))
+
+    report = run_fuzz(cases=args.cases, seed=args.seed,
+                      corpus_dir=args.corpus, max_gates=args.max_gates,
+                      limits=limits, shrink=not args.no_shrink,
+                      progress=progress)
+    print(report.summary())
+    for failure in report.failures:
+        print("FAILURE case {}: {} ({}); {} -> {} gates".format(
+            failure.case_index, failure.kind, failure.detail,
+            failure.original_gates, failure.shrunk_gates))
+        if failure.shrunk_path:
+            print("  reproducer: {}".format(failure.shrunk_path))
+    return 0 if report.ok else 1
+
+
+def cmd_oracle(args) -> int:
+    from .verify.oracle import differential_check
+    circuit = _read_circuit(args.file)
+    report = differential_check(circuit, limits=_limits(args))
+    print(report.summary())
+    for answer in report.answers:
+        cert = ""
+        if answer.certificate is not None:
+            cert = " [certified]" if answer.certificate.ok \
+                else " [CERTIFICATION FAILED: {}]".format(
+                    answer.certificate.detail)
+        note = " ({})".format(answer.note) if answer.note else ""
+        print("  {:12s} {:8s} {:.3f}s{}{}".format(
+            answer.name, answer.status, answer.time_seconds, cert, note))
+    return 0 if report.ok else 1
+
+
 def cmd_bench(args) -> int:
     from .bench.tables import ALL_TABLES
     if args.table not in ALL_TABLES:
@@ -319,6 +368,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("table", help="table1 .. table10")
     p.add_argument("--budget", type=float, default=None)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("fuzz", help="differential fuzzing of all engines")
+    p.add_argument("--cases", type=int, default=200,
+                   help="number of random instances (default 200)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed; everything is deterministic in it")
+    p.add_argument("--corpus", default="corpus",
+                   help="directory for failing-case artifacts "
+                        "(default: corpus/; only written on failure)")
+    p.add_argument("--max-gates", type=int, default=60,
+                   help="largest random circuit to generate (default 60)")
+    p.add_argument("--budget", type=float, default=None,
+                   help="per-case wall-clock budget in seconds")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip delta-debugging of failing cases")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print every case's oracle summary")
+    p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser("oracle",
+                       help="cross-check one circuit across every engine")
+    p.add_argument("file")
+    p.add_argument("--budget", type=float, default=None)
+    p.set_defaults(func=cmd_oracle)
     return parser
 
 

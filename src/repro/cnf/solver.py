@@ -74,9 +74,18 @@ class CnfSolver:
                  minimize_learned: bool = True,
                  restart_strategy: str = "geometric",
                  phase_saving: bool = False,
-                 proof=None):
+                 proof=None,
+                 certify: bool = False):
+        #: Replay every answer through repro.verify.certify (raises
+        #: CertificationError on mismatch).  Implies proof collection.
+        self.certify = certify
+        if certify and proof is None:
+            from ..proof import ProofLog
+            proof = ProofLog()
         #: Optional repro.proof.ProofLog collecting a DRUP trace.
         self.proof = proof
+        #: The original formula, kept for answer certification.
+        self.formula = formula
         if restart_strategy not in ("geometric", "luby"):
             raise SolverError("restart_strategy must be geometric or luby")
         #: "geometric" is the ZChaff-era default; "luby" the modern one.
@@ -452,9 +461,32 @@ class CnfSolver:
             model = {v: bool(self.values[v]) for v in range(1, self.num_vars + 1)
                      if self.values[v] != _UNASSIGNED}
         self._cancel_until(0)
-        return SolverResult(status=status, model=model,
-                            stats=self.stats.delta_since(stats0),
-                            time_seconds=time.perf_counter() - start)
+        result = SolverResult(status=status, model=model,
+                              stats=self.stats.delta_since(stats0),
+                              time_seconds=time.perf_counter() - start)
+        if self.certify:
+            self._certify(result, assumptions)
+        return result
+
+    def _certify(self, result: SolverResult,
+                 assumptions: Sequence[int]) -> None:
+        # Imported here: repro.verify sits above the solvers in the layering.
+        from ..verify.certify import (certify_cnf_sat, certify_cnf_unsat,
+                                      require)
+        if result.status == SAT:
+            model = dict(result.model)
+            for a in assumptions:  # assumptions must hold in the model too
+                if model.get(abs(a), a > 0) != (a > 0):
+                    raise SolverError(
+                        "SAT model violates assumption {}".format(a))
+            require(certify_cnf_sat(self.formula, model),
+                    context=self.formula.name)
+        elif result.status == UNSAT and not assumptions:
+            # Assumption-driven UNSAT answers carry no closed DRUP proof
+            # (the empty clause is never derivable from the formula alone),
+            # so only refutations of the bare formula are checkable.
+            require(certify_cnf_unsat(self.formula, self.proof),
+                    context=self.formula.name)
 
     def _search(self, assume: List[int], limits: Limits, start: float) -> str:
         if not self.ok:

@@ -42,6 +42,11 @@ class CircuitSolver:
         self.circuit = circuit
         self.options = options or SolverOptions()
         self.options.validate()
+        if self.options.certify and proof is None:
+            # Certification of UNSAT answers replays the DRUP log, so one
+            # must be collected even when the caller did not ask for it.
+            from ..proof import ProofLog
+            proof = ProofLog()
         #: Optional repro.proof.ProofLog; see repro.proof for checking.
         self.proof = proof
         self.engine = CSatEngine(circuit, self.options, proof=proof)
@@ -120,6 +125,13 @@ class CircuitSolver:
         result.stats = self.engine.stats.delta_since(stats0)
         result.time_seconds = time.perf_counter() - start
         result.sim_seconds = sim_seconds
+        if self.options.certify:
+            # Imported here: repro.verify sits above core in the layering.
+            from ..verify.certify import certify_result, require
+            require(certify_result(self.circuit, result,
+                                   objectives=list(objectives),
+                                   proof=self.proof),
+                    context=self.circuit.name)
         return result
 
 

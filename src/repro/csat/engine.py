@@ -716,6 +716,22 @@ class CSatEngine:
                             stats=self.stats.delta_since(stats0),
                             time_seconds=time.perf_counter() - start)
 
+    def _note_backjump(self, jump_length: int) -> bool:
+        """Paper's restart rule (Section IV-A): record one backtrack's jump
+        length; once ``restart_window`` backtracks accumulate, compare the
+        window average against ``restart_threshold`` and reset the window.
+        Returns True when the engine should restart — short average jumps
+        mean the search is thrashing near the leaves."""
+        options = self.options
+        self._bj_sum += jump_length
+        self._bj_count += 1
+        if self._bj_count < options.restart_window:
+            return False
+        avg = self._bj_sum / self._bj_count
+        self._bj_sum = 0
+        self._bj_count = 0
+        return options.restart_enabled and avg < options.restart_threshold
+
     def _search(self, assume: List[int], limits: Limits, start: float,
                 max_learned: Optional[int]) -> str:
         if not self.ok:
@@ -748,18 +764,10 @@ class CSatEngine:
                     for ci in self.clause_activity:
                         self.clause_activity[ci] *= 1e-100
                     self.cla_inc *= 1e-100
-                # Paper's restart rule: average back-jump length over a
-                # window of backtracks below the threshold -> restart.
-                self._bj_sum += level - bt_level
-                self._bj_count += 1
-                if self._bj_count >= options.restart_window:
-                    avg = self._bj_sum / self._bj_count
-                    self._bj_sum = 0
-                    self._bj_count = 0
-                    if options.restart_enabled and avg < options.restart_threshold:
-                        stats.restarts += 1
-                        self._cancel_until(0)
-                        self.pending_correlated.clear()
+                if self._note_backjump(level - bt_level):
+                    stats.restarts += 1
+                    self._cancel_until(0)
+                    self.pending_correlated.clear()
                 if max_learned is not None and \
                         stats.learned_clauses - learned_at_entry >= max_learned:
                     return UNKNOWN

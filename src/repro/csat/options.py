@@ -100,6 +100,11 @@ class SolverOptions:
     # Learned-clause deletion.
     learnt_limit_base: float = 2000.0
     learnt_limit_growth: float = 1.1
+    # Certification (repro.verify): replay every SAT model through
+    # independent simulation/CNF evaluation and every UNSAT answer through
+    # the DRUP checker; raises CertificationError on mismatch.  A proof log
+    # is attached automatically when none was supplied.
+    certify: bool = False
 
     def validate(self) -> None:
         if self.explicit_order not in _ORDERINGS:

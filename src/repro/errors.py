@@ -25,3 +25,8 @@ class SolverError(ReproError):
 
 class ResourceLimitExceeded(ReproError):
     """A solve() call exceeded a user-supplied conflict/decision/time budget."""
+
+
+class CertificationError(ReproError):
+    """A solver answer failed independent certification (bad SAT model or
+    rejected DRUP proof) — always a solver bug, never a user error."""

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
 
 SAT = "SAT"
@@ -35,16 +35,23 @@ class SolverStats:
     subproblems_unsat: int = 0
     subproblem_conflicts: int = 0
 
+    #: Fields that merge by maximum rather than by sum.
+    _MAX_FIELDS = ("max_decision_level",)
+
     def merge(self, other: "SolverStats") -> None:
-        """Accumulate another stats block into this one (max for levels)."""
-        for name in ("decisions", "conflicts", "propagations",
-                     "learned_clauses", "learned_literals", "deleted_clauses",
-                     "restarts", "implications", "jnode_decisions",
-                     "correlation_decisions", "subproblems_solved",
-                     "subproblems_unsat", "subproblem_conflicts"):
-            setattr(self, name, getattr(self, name) + getattr(other, name))
-        self.max_decision_level = max(self.max_decision_level,
-                                      other.max_decision_level)
+        """Accumulate another stats block into this one (max for levels).
+
+        Iterates the dataclass fields so a counter added later can never be
+        silently dropped — only genuinely max-like fields need registering
+        in ``_MAX_FIELDS``.
+        """
+        for f in fields(self):
+            if f.name in self._MAX_FIELDS:
+                setattr(self, f.name, max(getattr(self, f.name),
+                                          getattr(other, f.name)))
+            else:
+                setattr(self, f.name, getattr(self, f.name)
+                        + getattr(other, f.name))
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -55,11 +62,12 @@ class SolverStats:
     def delta_since(self, before: "SolverStats") -> "SolverStats":
         """Counters accumulated since ``before`` (a prior copy of self)."""
         d = SolverStats()
-        for name in self.__dict__:
-            if name == "max_decision_level":
-                continue
-            setattr(d, name, getattr(self, name) - getattr(before, name))
-        d.max_decision_level = self.max_decision_level
+        for f in fields(self):
+            if f.name in self._MAX_FIELDS:
+                setattr(d, f.name, getattr(self, f.name))
+            else:
+                setattr(d, f.name,
+                        getattr(self, f.name) - getattr(before, f.name))
         return d
 
 

@@ -1,0 +1,33 @@
+"""Differential testing and answer certification.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.verify.certify` — replay SAT models through independent
+  simulation/CNF evaluation and UNSAT answers through the DRUP checker.
+* :mod:`repro.verify.oracle` — run one instance through every engine
+  (circuit presets, CNF baseline, brute force, BDDs) and flag disagreement.
+* :mod:`repro.verify.fuzz` / :mod:`repro.verify.shrink` — seeded random
+  instance streams with delta-debugging shrinking of failures
+  (``repro fuzz`` on the command line).
+
+See ``docs/verification.md`` for the workflow.
+"""
+
+from .certify import (Certificate, certify_cnf_result, certify_cnf_sat,
+                      certify_cnf_unsat, certify_result, certify_sat_model,
+                      certify_unsat_proof, require)
+from .oracle import (DEFAULT_PRESETS, EngineAnswer, OracleReport,
+                     differential_check)
+from .fuzz import (DEFAULT_CASE_LIMITS, FuzzFailure, FuzzReport,
+                   generate_case, run_fuzz)
+from .shrink import shrink_circuit, shrink_clauses
+
+__all__ = [
+    "Certificate", "certify_cnf_result", "certify_cnf_sat",
+    "certify_cnf_unsat", "certify_result", "certify_sat_model",
+    "certify_unsat_proof", "require",
+    "DEFAULT_PRESETS", "EngineAnswer", "OracleReport", "differential_check",
+    "DEFAULT_CASE_LIMITS", "FuzzFailure", "FuzzReport", "generate_case",
+    "run_fuzz",
+    "shrink_circuit", "shrink_clauses",
+]

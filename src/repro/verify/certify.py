@@ -1,0 +1,180 @@
+"""Answer certification: trust no solver.
+
+Every answer the package produces can be replayed through independent
+machinery:
+
+* **SAT** — the model's primary-input projection is simulated with
+  :mod:`repro.sim.bitsim` and the objectives must come out true; every node
+  the solver *did* assign must match the simulation (a strong cross-check of
+  gate BCP); and the induced assignment must satisfy the Tseitin encoding
+  clause-for-clause.
+* **UNSAT** — the solver's DRUP log is replayed against the Tseitin encoding
+  by :func:`repro.proof.check_drup`, whose unit propagator shares no code
+  with either search engine.
+
+The certifiers return a :class:`Certificate` rather than raising so the
+differential oracle can collect failures; :func:`require` converts a bad
+certificate into a :class:`~repro.errors.CertificationError` for the
+``SolverOptions.certify`` production hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..circuit.cnf_convert import tseitin
+from ..circuit.netlist import Circuit
+from ..cnf.formula import CnfFormula
+from ..errors import CertificationError
+from ..proof import ProofLog, check_drup
+from ..result import SAT, SolverResult, UNKNOWN, UNSAT
+from ..sim.bitsim import simulate_words
+
+#: Certificate kinds.
+SAT_MODEL = "sat-model"
+UNSAT_PROOF = "unsat-proof"
+UNKNOWN_ANSWER = "unknown"
+
+
+@dataclass
+class Certificate:
+    """Outcome of one certification attempt."""
+
+    ok: bool
+    kind: str
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def require(certificate: Certificate, context: str = "") -> Certificate:
+    """Raise :class:`CertificationError` unless the certificate is good."""
+    if not certificate.ok:
+        prefix = context + ": " if context else ""
+        raise CertificationError(prefix + certificate.kind + " rejected: "
+                                 + certificate.detail)
+    return certificate
+
+
+# ----------------------------------------------------------------------
+# Circuit answers
+# ----------------------------------------------------------------------
+
+def certify_sat_model(circuit: Circuit, model: Dict[int, bool],
+                      objectives: Optional[Sequence[int]] = None
+                      ) -> Certificate:
+    """Replay a circuit SAT model through simulation and CNF evaluation.
+
+    ``model`` maps node ids to booleans for every node the solver assigned;
+    unassigned primary inputs are completed with False (the solver's SAT
+    claim is that any completion works).
+    """
+    if model is None:
+        return Certificate(False, SAT_MODEL, "SAT answer carries no model")
+    if objectives is None:
+        objectives = list(circuit.outputs)
+    input_words = {pi: (1 if model.get(pi, False) else 0)
+                   for pi in circuit.inputs}
+    vals = simulate_words(circuit, input_words, width=1)
+    for obj in objectives:
+        if (vals[obj >> 1] ^ (obj & 1)) != 1:
+            return Certificate(
+                False, SAT_MODEL,
+                "objective {} is false under the model".format(obj))
+    for node, value in model.items():
+        if node >= circuit.num_nodes:
+            return Certificate(False, SAT_MODEL,
+                               "model assigns unknown node {}".format(node))
+        if bool(vals[node]) != bool(value):
+            return Certificate(
+                False, SAT_MODEL,
+                "node {} is {} in the model but simulates to {}".format(
+                    node, value, bool(vals[node])))
+    # Independent replay through the Tseitin clauses.
+    formula, _ = tseitin(circuit, objectives=list(objectives))
+    assignment = [False] * (formula.num_vars + 1)
+    for node in range(circuit.num_nodes):
+        assignment[node + 1] = bool(vals[node])
+    if not formula.evaluate(assignment):
+        return Certificate(False, SAT_MODEL,
+                           "induced assignment violates the Tseitin encoding")
+    return Certificate(True, SAT_MODEL)
+
+
+def certify_unsat_proof(circuit: Circuit, proof: Optional[ProofLog],
+                        objectives: Optional[Sequence[int]] = None
+                        ) -> Certificate:
+    """Replay a circuit UNSAT answer's DRUP log over the Tseitin encoding."""
+    if proof is None:
+        return Certificate(False, UNSAT_PROOF,
+                           "UNSAT answer carries no proof log")
+    if objectives is None:
+        objectives = list(circuit.outputs)
+    formula, _ = tseitin(circuit, objectives=list(objectives))
+    verdict = check_drup(formula, proof)
+    if not verdict.ok:
+        return Certificate(False, UNSAT_PROOF, verdict.reason)
+    return Certificate(True, UNSAT_PROOF,
+                       "{} steps".format(verdict.steps_checked))
+
+
+def certify_result(circuit: Circuit, result: SolverResult,
+                   objectives: Optional[Sequence[int]] = None,
+                   proof: Optional[ProofLog] = None) -> Certificate:
+    """Certify whichever answer ``result`` carries.
+
+    UNKNOWN answers are vacuously fine (the solver claims nothing).
+    """
+    if result.status == SAT:
+        return certify_sat_model(circuit, result.model, objectives)
+    if result.status == UNSAT:
+        return certify_unsat_proof(circuit, proof, objectives)
+    return Certificate(True, UNKNOWN_ANSWER)
+
+
+# ----------------------------------------------------------------------
+# CNF answers
+# ----------------------------------------------------------------------
+
+def certify_cnf_sat(formula: CnfFormula,
+                    model: Optional[Dict[int, bool]]) -> Certificate:
+    """Check a CNF model clause-for-clause against the original formula."""
+    if model is None:
+        return Certificate(False, SAT_MODEL, "SAT answer carries no model")
+    assignment = [False] * (formula.num_vars + 1)
+    for var, value in model.items():
+        if not 1 <= var <= formula.num_vars:
+            return Certificate(False, SAT_MODEL,
+                               "model assigns unknown variable {}".format(var))
+        assignment[var] = bool(value)
+    for i, clause in enumerate(formula.clauses):
+        if not any(assignment[abs(l)] ^ (l < 0) for l in clause):
+            return Certificate(
+                False, SAT_MODEL,
+                "clause {} ({}) is falsified".format(i, clause))
+    return Certificate(True, SAT_MODEL)
+
+
+def certify_cnf_unsat(formula: CnfFormula,
+                      proof: Optional[ProofLog]) -> Certificate:
+    """Replay a CNF UNSAT answer's DRUP log."""
+    if proof is None:
+        return Certificate(False, UNSAT_PROOF,
+                           "UNSAT answer carries no proof log")
+    verdict = check_drup(formula, proof)
+    if not verdict.ok:
+        return Certificate(False, UNSAT_PROOF, verdict.reason)
+    return Certificate(True, UNSAT_PROOF,
+                       "{} steps".format(verdict.steps_checked))
+
+
+def certify_cnf_result(formula: CnfFormula, result: SolverResult,
+                       proof: Optional[ProofLog] = None) -> Certificate:
+    """Certify whichever answer a CNF ``result`` carries."""
+    if result.status == SAT:
+        return certify_cnf_sat(formula, result.model)
+    if result.status == UNSAT:
+        return certify_cnf_unsat(formula, proof)
+    return Certificate(True, UNKNOWN_ANSWER)

@@ -1,0 +1,241 @@
+"""Differential testing oracle: run one instance through every engine.
+
+The package has several independent answer machines — the circuit CDCL
+engine under each option preset, the CNF CDCL baseline over the Tseitin
+encoding, brute-force word-parallel enumeration, and ROBDDs.  They were
+built from the same paper but share almost no code on their hot paths, so
+agreement between them is strong evidence of correctness and *dis*agreement
+pinpoints a bug in at least one of them.
+
+:func:`differential_check` runs them all (within per-engine feasibility
+limits), certifies every SAT/UNSAT answer via :mod:`repro.verify.certify`,
+and reports any split verdict.  Callers may inject additional engines —
+the fuzz tests use that to plant a deliberately buggy engine and confirm
+the oracle catches it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..bdd.robdd import circuit_to_bdds
+from ..circuit.cnf_convert import tseitin
+from ..circuit.netlist import Circuit
+from ..cnf.solver import CnfSolver
+from ..core.solver import CircuitSolver
+from ..csat.options import preset
+from ..errors import ReproError
+from ..proof import ProofLog
+from ..result import Limits, SAT, SolverResult, UNKNOWN, UNSAT
+from ..sim.bitsim import exhaustive_input_words, simulate_words
+from .certify import Certificate, certify_result
+
+#: Presets exercised by default — every decision-engine configuration.
+DEFAULT_PRESETS = ("csat", "csat-jnode", "implicit", "explicit")
+
+#: An engine is a callable (circuit, objectives, limits) -> (result, proof).
+Engine = Callable[[Circuit, Sequence[int], Optional[Limits]],
+                  Tuple[SolverResult, Optional[ProofLog]]]
+
+
+@dataclass
+class EngineAnswer:
+    """One engine's verdict on the instance."""
+
+    name: str
+    status: str
+    certificate: Optional[Certificate] = None
+    time_seconds: float = 0.0
+    note: str = ""
+
+
+@dataclass
+class OracleReport:
+    """Joint verdict of all engines on one instance."""
+
+    answers: List[EngineAnswer] = field(default_factory=list)
+    consensus: Optional[str] = None   # SAT/UNSAT when at least one engine decided
+    disagreements: List[str] = field(default_factory=list)
+    certification_failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements and not self.certification_failures
+
+    @property
+    def decided(self) -> bool:
+        return self.consensus is not None
+
+    def summary(self) -> str:
+        parts = ["{}={}".format(a.name, a.status) for a in self.answers]
+        verdict = "AGREE" if self.ok else "FAIL"
+        return "{} [{}] {}".format(verdict, self.consensus or "?",
+                                   " ".join(parts))
+
+
+def _circuit_engine(name: str) -> Engine:
+    def run(circuit, objectives, limits):
+        proof = ProofLog()
+        solver = CircuitSolver(circuit, preset(name), proof=proof)
+        result = solver.solve(objectives=list(objectives), limits=limits)
+        return result, proof
+    run.__name__ = name
+    return run
+
+
+def _cnf_engine(circuit: Circuit, objectives: Sequence[int],
+                limits: Optional[Limits]):
+    formula, _ = tseitin(circuit, objectives=list(objectives))
+    proof = ProofLog()
+    solver = CnfSolver(formula, proof=proof)
+    result = solver.solve(limits=limits)
+    if result.status == SAT:
+        # Translate CNF variables (node + 1) back to circuit node ids so the
+        # shared circuit certifier can replay the model.
+        result.model = {var - 1: value for var, value in result.model.items()}
+    return result, proof
+
+
+def _brute_force(circuit: Circuit, objectives: Sequence[int]) -> SolverResult:
+    """Exhaustive enumeration via word-parallel simulation."""
+    words = exhaustive_input_words(circuit.num_inputs)
+    width = 1 << circuit.num_inputs
+    vals = simulate_words(circuit, words, width)
+    mask = (1 << width) - 1
+    hits = mask
+    for obj in objectives:
+        word = vals[obj >> 1] ^ (mask if (obj & 1) else 0)
+        hits &= word
+        if not hits:
+            return SolverResult(status=UNSAT)
+    pattern = (hits & -hits).bit_length() - 1
+    model = {pi: bool((words[i] >> pattern) & 1)
+             for i, pi in enumerate(circuit.inputs)}
+    return SolverResult(status=SAT, model=model)
+
+
+def _bdd_check(circuit: Circuit, objectives: Sequence[int],
+               node_limit: int) -> SolverResult:
+    from ..bdd.robdd import BddManager
+    manager = BddManager(circuit.num_inputs, node_limit=node_limit)
+    manager, out_bdds = circuit_to_bdds(circuit, manager=manager)
+    by_lit = {lit: bdd for lit, bdd in zip(circuit.outputs, out_bdds)}
+    conj = manager.true
+    for obj in objectives:
+        bdd = by_lit.get(obj)
+        if bdd is None:
+            # Objective is not an output literal: build its cone's BDD.
+            sub = circuit.copy()
+            sub.outputs, sub.output_names = [obj], [None]
+            _, (bdd,) = circuit_to_bdds(sub, manager=manager)
+        conj = manager.apply_and(conj, bdd)
+    if conj == manager.false:
+        return SolverResult(status=UNSAT)
+    # Extract one satisfying path as a model.
+    model = {}
+    index_of = {i: pi for i, pi in enumerate(circuit.inputs)}
+    node = conj
+    while node > 1:
+        var = manager.var[node]
+        if manager.low[node] != manager.false:
+            model[index_of[var]] = False
+            node = manager.low[node]
+        else:
+            model[index_of[var]] = True
+            node = manager.high[node]
+    return SolverResult(status=SAT, model=model)
+
+
+def differential_check(circuit: Circuit,
+                       objectives: Optional[Sequence[int]] = None,
+                       limits: Optional[Limits] = None,
+                       presets: Sequence[str] = DEFAULT_PRESETS,
+                       include_cnf: bool = True,
+                       include_brute: bool = True,
+                       include_bdd: bool = True,
+                       brute_force_max_inputs: int = 14,
+                       bdd_node_limit: int = 200_000,
+                       extra_engines: Optional[Dict[str, Engine]] = None,
+                       certify: bool = True) -> OracleReport:
+    """Run every engine on one instance and cross-check the answers.
+
+    Returns an :class:`OracleReport`; ``report.ok`` is False iff two engines
+    decided differently or any answer failed certification.  Engines that
+    hit their limits answer UNKNOWN and neither vote nor fail.
+    """
+    if objectives is None:
+        objectives = list(circuit.outputs)
+    objectives = list(objectives)
+    report = OracleReport()
+
+    engines: List[Tuple[str, Engine]] = [
+        (name, _circuit_engine(name)) for name in presets]
+    if include_cnf:
+        engines.append(("cnf", _cnf_engine))
+    for name, engine in (extra_engines or {}).items():
+        engines.append((name, engine))
+
+    for name, engine in engines:
+        t0 = time.perf_counter()
+        try:
+            result, proof = engine(circuit, objectives, limits)
+        except ReproError as exc:
+            report.answers.append(EngineAnswer(name, UNKNOWN,
+                                               note="error: {}".format(exc)))
+            continue
+        answer = EngineAnswer(name, result.status,
+                              time_seconds=time.perf_counter() - t0)
+        if certify and result.status in (SAT, UNSAT):
+            answer.certificate = certify_result(circuit, result,
+                                                objectives, proof)
+            if not answer.certificate.ok:
+                report.certification_failures.append(
+                    "{}: {}".format(name, answer.certificate.detail))
+        report.answers.append(answer)
+
+    if include_brute and circuit.num_inputs <= brute_force_max_inputs:
+        t0 = time.perf_counter()
+        result = _brute_force(circuit, objectives)
+        answer = EngineAnswer("brute", result.status,
+                              time_seconds=time.perf_counter() - t0)
+        if certify and result.status == SAT:
+            answer.certificate = certify_result(circuit, result, objectives)
+            if not answer.certificate.ok:
+                report.certification_failures.append(
+                    "brute: " + answer.certificate.detail)
+        report.answers.append(answer)
+
+    if include_bdd:
+        t0 = time.perf_counter()
+        try:
+            result = _bdd_check(circuit, objectives, bdd_node_limit)
+        except ReproError as exc:
+            result = SolverResult(status=UNKNOWN)
+            report.answers.append(EngineAnswer(
+                "bdd", UNKNOWN, note="error: {}".format(exc)))
+        else:
+            answer = EngineAnswer("bdd", result.status,
+                                  time_seconds=time.perf_counter() - t0)
+            if certify and result.status == SAT:
+                answer.certificate = certify_result(circuit, result,
+                                                    objectives)
+                if not answer.certificate.ok:
+                    report.certification_failures.append(
+                        "bdd: " + answer.certificate.detail)
+            report.answers.append(answer)
+
+    decided = {}
+    for answer in report.answers:
+        if answer.status in (SAT, UNSAT):
+            decided.setdefault(answer.status, []).append(answer.name)
+    if len(decided) == 1:
+        report.consensus = next(iter(decided))
+    elif len(decided) == 2:
+        report.consensus = None
+        report.disagreements.append(
+            "SAT({}) vs UNSAT({})".format(
+                ",".join(decided.get(SAT, [])),
+                ",".join(decided.get(UNSAT, []))))
+    return report

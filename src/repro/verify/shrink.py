@@ -1,0 +1,137 @@
+"""Delta-debugging shrinkers for failing fuzz cases.
+
+A fuzz failure on a 60-gate circuit is unreadable; the same failure on a
+6-gate circuit is a bug report.  :func:`shrink_circuit` greedily eliminates
+gates — rebuilding the netlist with each candidate gate replaced by one of
+its fanins or a constant — while a caller-supplied predicate (usually "the
+differential oracle still disagrees") keeps holding.  The result is *locally
+minimal*: no single further gate elimination preserves the failure.
+
+:func:`shrink_clauses` is the CNF-side analogue, classic ddmin over the
+clause list followed by a one-at-a-time minimality pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..circuit.netlist import Circuit, FALSE, TRUE
+from ..cnf.formula import CnfFormula
+
+CircuitPredicate = Callable[[Circuit], bool]
+ClausePredicate = Callable[[CnfFormula], bool]
+
+
+def _rebuild_replacing(circuit: Circuit, target: int,
+                       replacement_of_target: str) -> Circuit:
+    """Copy ``circuit`` with AND node ``target`` eliminated.
+
+    ``replacement_of_target`` names what the gate's literal becomes:
+    ``"fanin0"``, ``"fanin1"``, ``"false"`` or ``"true"``.  All downstream
+    literals are remapped; strashing may fold further gates away.
+    """
+    out = Circuit(circuit.name, strash=True)
+    lit_map = {0: FALSE, 1: TRUE}
+    for pi in circuit.inputs:
+        new = out.add_input(circuit.name_of(pi))
+        lit_map[2 * pi] = new
+        lit_map[2 * pi + 1] = new ^ 1
+
+    for n in circuit.and_nodes():
+        f0, f1 = circuit.fanins(n)
+        a, b = lit_map[f0], lit_map[f1]
+        if n == target:
+            new = {"fanin0": a, "fanin1": b,
+                   "false": FALSE, "true": TRUE}[replacement_of_target]
+        else:
+            new = out.add_and(a, b)
+        lit_map[2 * n] = new
+        lit_map[2 * n + 1] = new ^ 1
+
+    for lit, name in zip(circuit.outputs, circuit.output_names):
+        out.add_output(lit_map[lit], name)
+    return out
+
+
+def gate_elimination_candidates(circuit: Circuit) -> List[Tuple[int, str]]:
+    """All (gate, replacement) single-step reductions, deepest gates first."""
+    candidates: List[Tuple[int, str]] = []
+    for n in reversed(list(circuit.and_nodes())):
+        for how in ("false", "true", "fanin0", "fanin1"):
+            candidates.append((n, how))
+    return candidates
+
+
+def shrink_circuit(circuit: Circuit, predicate: CircuitPredicate,
+                   max_steps: int = 10_000) -> Circuit:
+    """Greedy gate elimination while ``predicate(circuit)`` stays true.
+
+    ``predicate`` must be true for the input circuit (the caller should have
+    observed the failure already).  Each accepted step strictly reduces the
+    gate count, so termination is guaranteed; the result is 1-minimal with
+    respect to the four per-gate eliminations.
+    """
+    current = circuit
+    steps = 0
+    improved = True
+    while improved and steps < max_steps:
+        improved = False
+        for gate, how in gate_elimination_candidates(current):
+            steps += 1
+            candidate = _rebuild_replacing(current, gate, how)
+            if candidate.num_ands >= current.num_ands:
+                continue
+            if predicate(candidate):
+                current = candidate
+                improved = True
+                break
+            if steps >= max_steps:
+                break
+    return current
+
+
+def shrink_clauses(formula: CnfFormula, predicate: ClausePredicate,
+                   max_steps: int = 10_000) -> CnfFormula:
+    """ddmin over the clause list: smallest clause subset still failing.
+
+    Classic Zeller delta debugging — try dropping large chunks first, then
+    refine granularity — finished with a one-clause-at-a-time pass so the
+    result is 1-minimal.
+    """
+
+    def build(clauses: Sequence[Sequence[int]]) -> CnfFormula:
+        sub = CnfFormula(num_vars=formula.num_vars, name=formula.name)
+        for clause in clauses:
+            sub.add_clause(clause)
+        return sub
+
+    clauses: List[List[int]] = [list(c) for c in formula.clauses]
+    steps = 0
+    granularity = 2
+    while len(clauses) >= 2 and steps < max_steps:
+        chunk = max(1, len(clauses) // granularity)
+        reduced = False
+        start = 0
+        while start < len(clauses) and steps < max_steps:
+            trial = clauses[:start] + clauses[start + chunk:]
+            steps += 1
+            if trial and predicate(build(trial)):
+                clauses = trial
+                granularity = max(granularity - 1, 2)
+                reduced = True
+            else:
+                start += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(granularity * 2, len(clauses))
+    # Final 1-minimal pass.
+    i = 0
+    while i < len(clauses) and steps < max_steps:
+        trial = clauses[:i] + clauses[i + 1:]
+        steps += 1
+        if trial and predicate(build(trial)):
+            clauses = trial
+        else:
+            i += 1
+    return build(clauses)

@@ -1,0 +1,126 @@
+"""Seeded mini-fuzz: every engine preset vs brute-force enumeration.
+
+A deterministic tier-1 regression net (fixed RNG seed): 200 random circuits
+of at most 30 gates, each solved by all four decision-engine presets, the
+CNF baseline, ROBDDs and exhaustive simulation — every answer certified.
+Any future change to BCP, conflict analysis, J-frontier handling or the
+correlation heuristics that alters an *answer* (rather than just the search
+path) fails here immediately.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Limits
+from repro.gen.random_circuit import random_dag
+from repro.result import SAT, UNSAT
+from repro.verify.fuzz import generate_case, run_fuzz
+from repro.verify.oracle import differential_check
+
+SEED = 20260806
+CASES = 200
+
+_CASE_LIMITS = Limits(max_conflicts=50_000, max_seconds=30.0)
+
+
+def _mini_cases():
+    rng = random.Random(SEED)
+    for index in range(CASES):
+        yield index, random_dag(num_inputs=rng.randint(2, 8),
+                                num_gates=rng.randint(1, 30),
+                                num_outputs=rng.randint(1, 2),
+                                seed=rng.getrandbits(32),
+                                name="mini{}".format(index))
+
+
+def test_all_presets_agree_with_brute_force():
+    decided = {SAT: 0, UNSAT: 0}
+    for index, circuit in _mini_cases():
+        report = differential_check(circuit, limits=_CASE_LIMITS)
+        assert report.ok, "case {}: {}".format(index, report.summary())
+        # Tiny instances must never exhaust their budget.
+        assert report.decided, "case {} undecided".format(index)
+        brute = [a for a in report.answers if a.name == "brute"]
+        assert brute and brute[0].status == report.consensus
+        decided[report.consensus] += 1
+    # The family exercises both answers, or the net catches nothing.
+    assert decided[SAT] > 10
+    assert decided[UNSAT] > 10
+
+
+def test_fuzz_driver_campaign_is_clean_and_deterministic():
+    report = run_fuzz(cases=30, seed=1, corpus_dir=None)
+    assert report.ok, [f.detail for f in report.failures]
+    assert report.cases == 30
+    again = run_fuzz(cases=30, seed=1, corpus_dir=None)
+    assert (again.sat, again.unsat, again.unknown) == \
+        (report.sat, report.unsat, report.unknown)
+
+
+def test_generate_case_families_deterministic():
+    rng_a, rng_b = random.Random(5), random.Random(5)
+    for index in range(6):
+        a = generate_case(rng_a, index, max_gates=20)
+        b = generate_case(rng_b, index, max_gates=20)
+        assert a.num_nodes == b.num_nodes
+        assert list(a.outputs) == list(b.outputs)
+    # Family 1 (miter vs rewritten self) must be UNSAT.
+    rng = random.Random(9)
+    cases = [generate_case(rng, i, max_gates=20) for i in range(6)]
+    unsat_miter = cases[1]
+    report = differential_check(unsat_miter, limits=_CASE_LIMITS)
+    assert report.ok and report.consensus == UNSAT
+
+
+def test_oracle_catches_injected_engine_bug_and_shrinks_small():
+    """Acceptance: a deliberately broken engine is detected by the oracle
+    and the failing case shrinks to a reproducer of at most 10 gates."""
+    from repro.circuit.netlist import Circuit
+    from repro.result import SolverResult
+    from repro.sim.bitsim import simulate_words
+
+    def buggy_brute(circuit: Circuit, objectives, limits):
+        """Exhaustive evaluator with a planted bug: any AND gate whose
+        fanins are both inverted is evaluated as NOR of the raw fanins
+        (correct) — except it ORs instead of ANDing (wrong)."""
+        width = 1 << circuit.num_inputs
+        mask = (1 << width) - 1
+        rng = random.Random(0)
+        words = []
+        for i in range(circuit.num_inputs):
+            word = 0
+            for k in range(width):
+                word |= ((k >> i) & 1) << k
+            words.append(word)
+        vals = [0] * circuit.num_nodes
+        for i, pi in enumerate(circuit.inputs):
+            vals[pi] = words[i]
+        for n in circuit.and_nodes():
+            f0, f1 = circuit.fanins(n)
+            a = vals[f0 >> 1] ^ (mask if f0 & 1 else 0)
+            b = vals[f1 >> 1] ^ (mask if f1 & 1 else 0)
+            if (f0 & 1) and (f1 & 1):
+                vals[n] = (a | b) & mask   # the planted bug
+            else:
+                vals[n] = a & b
+        hits = mask
+        for obj in objectives:
+            hits &= vals[obj >> 1] ^ (mask if obj & 1 else 0)
+        status = SAT if hits else UNSAT
+        model = None
+        if hits:
+            k = (hits & -hits).bit_length() - 1
+            model = {pi: bool((k >> i) & 1)
+                     for i, pi in enumerate(circuit.inputs)}
+        return SolverResult(status=status, model=model), None
+
+    report = run_fuzz(cases=40, seed=3, corpus_dir=None, max_gates=40,
+                      extra_engines={"buggy": buggy_brute})
+    assert not report.ok, "oracle failed to catch the injected bug"
+    assert all(f.kind in ("disagreement", "certification")
+               for f in report.failures)
+    smallest = min(f.shrunk_gates for f in report.failures)
+    assert smallest <= 10, report.failures

@@ -1,0 +1,117 @@
+"""Unit tests for the paper's restart rule (Section IV-A).
+
+The rule: over a window of ``restart_window`` backtracks (paper: 4096),
+compute the average back-jump length; restart when it falls below
+``restart_threshold`` (paper: 1.2).  The window resets whenever it fills,
+restart or not, and ``restart_enabled=False`` disables the restart but not
+the bookkeeping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Circuit, CircuitSolver, SolverOptions, SolverError, preset
+from repro.csat.engine import CSatEngine
+
+
+def _engine(**overrides) -> CSatEngine:
+    c = Circuit("tiny")
+    a, b = c.add_input("a"), c.add_input("b")
+    c.add_output(c.add_and(a, b), "y")
+    return CSatEngine(c, SolverOptions(**overrides))
+
+
+class TestNoteBackjump:
+    def test_paper_defaults(self):
+        options = SolverOptions()
+        assert options.restart_window == 4096
+        assert options.restart_threshold == 1.2
+        assert options.restart_enabled
+
+    def test_no_restart_before_window_fills(self):
+        engine = _engine()
+        for _ in range(4095):
+            assert not engine._note_backjump(1)
+        assert engine._bj_count == 4095
+        assert engine._bj_sum == 4095
+
+    def test_restart_when_average_below_threshold(self):
+        engine = _engine()
+        for _ in range(4095):
+            engine._note_backjump(1)
+        # 4096th backtrack: average 1.0 < 1.2 -> restart, window reset.
+        assert engine._note_backjump(1)
+        assert engine._bj_count == 0
+        assert engine._bj_sum == 0
+
+    def test_no_restart_when_average_at_threshold(self):
+        engine = _engine(restart_window=10)
+        # Average exactly 1.2 is NOT below the threshold.
+        for jump in [2, 1, 1, 1, 1, 2, 1, 1, 1]:
+            assert not engine._note_backjump(jump)
+        assert not engine._note_backjump(1)  # sum 12 / 10 = 1.2
+        assert engine._bj_count == 0  # window reset regardless
+
+    def test_restart_when_average_just_below_threshold(self):
+        engine = _engine(restart_window=10)
+        for jump in [2, 1, 1, 1, 1, 1, 1, 1, 1]:
+            assert not engine._note_backjump(jump)
+        assert engine._note_backjump(1)  # sum 11 / 10 = 1.1 < 1.2
+
+    def test_long_backjumps_prevent_restart(self):
+        engine = _engine(restart_window=8)
+        for _ in range(7):
+            engine._note_backjump(5)
+        assert not engine._note_backjump(5)  # average 5.0
+        assert engine._bj_count == 0
+
+    def test_window_reset_after_restart_starts_fresh(self):
+        engine = _engine(restart_window=4)
+        for _ in range(3):
+            engine._note_backjump(1)
+        assert engine._note_backjump(1)  # restart
+        # A fresh window: three long jumps then one short must average
+        # over only these four, not carry the previous window's sum.
+        for jump in [3, 3, 3]:
+            assert not engine._note_backjump(jump)
+        assert not engine._note_backjump(1)  # avg 2.5 >= 1.2
+
+    def test_restart_disabled_still_resets_window(self):
+        engine = _engine(restart_enabled=False, restart_window=6)
+        for _ in range(5):
+            assert not engine._note_backjump(1)
+        assert not engine._note_backjump(1)  # would restart, but disabled
+        assert engine._bj_count == 0 and engine._bj_sum == 0
+        # And it stays disabled over many windows.
+        for _ in range(25):
+            assert not engine._note_backjump(0)
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(SolverError):
+            SolverOptions(restart_window=0).validate()
+
+
+class TestRestartIntegration:
+    def test_search_restarts_on_thrashing(self):
+        """A tiny window plus an unsatisfiable pigeonhole-ish instance
+        forces short backjumps, so the engine must actually restart."""
+        from repro.circuit.miter import miter_identical
+        from conftest import build_random_circuit
+        circuit = miter_identical(build_random_circuit(
+            23, num_inputs=6, num_gates=60))
+        options = preset("csat", restart_window=4, restart_threshold=100.0)
+        result = CircuitSolver(circuit, options).solve()
+        assert result.is_unsat
+        assert result.stats.restarts > 0
+
+    def test_disabled_restarts_never_fire(self):
+        from repro.circuit.miter import miter_identical
+        from conftest import build_random_circuit
+        circuit = miter_identical(build_random_circuit(
+            23, num_inputs=6, num_gates=60))
+        options = preset("csat", restart_window=4, restart_threshold=100.0,
+                         restart_enabled=False)
+        result = CircuitSolver(circuit, options).solve()
+        assert result.is_unsat
+        assert result.stats.restarts == 0

@@ -15,6 +15,38 @@ class TestSolverStats:
         assert a.conflicts == 3
         assert a.max_decision_level == 9
 
+    def test_merge_covers_every_field(self):
+        """Every counter field must survive merge — set each field of both
+        operands to distinct nonzero values and check the result
+        field-for-field.  Catches counters added later but forgotten in
+        merge (which now iterates the dataclass fields, so only max-like
+        fields ever need registering by name)."""
+        import dataclasses
+        names = [f.name for f in dataclasses.fields(SolverStats)]
+        a = SolverStats(**{name: 2 * i + 1 for i, name in enumerate(names)})
+        b = SolverStats(**{name: 100 + i for i, name in enumerate(names)})
+        a.merge(b)
+        for i, name in enumerate(names):
+            if name in SolverStats._MAX_FIELDS:
+                assert getattr(a, name) == max(2 * i + 1, 100 + i), name
+            else:
+                assert getattr(a, name) == (2 * i + 1) + (100 + i), name
+        # Max-like fields must actually be registered.
+        assert "max_decision_level" in SolverStats._MAX_FIELDS
+
+    def test_delta_since_covers_every_field(self):
+        import dataclasses
+        names = [f.name for f in dataclasses.fields(SolverStats)]
+        before = SolverStats(**{name: i for i, name in enumerate(names)})
+        after = SolverStats(**{name: 10 * i + 3
+                               for i, name in enumerate(names)})
+        delta = after.delta_since(before)
+        for i, name in enumerate(names):
+            if name in SolverStats._MAX_FIELDS:
+                assert getattr(delta, name) == 10 * i + 3, name
+            else:
+                assert getattr(delta, name) == (10 * i + 3) - i, name
+
     def test_copy_is_independent(self):
         a = SolverStats(decisions=1)
         b = a.copy()
