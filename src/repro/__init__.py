@@ -29,6 +29,8 @@ from .core import (CircuitSolver, SweepResult, check_equivalence, sat_sweep,
 from .csat import CSatEngine, SolverOptions, preset
 from .errors import (CertificationError, CircuitError, ParseError,
                      ReproError, ResourceLimitExceeded, SolverError)
+from .obs import (JsonlTracer, PhaseTimers, ProgressPrinter,
+                  ProgressSnapshot, TraceSummary, Tracer, summarize_trace)
 from .proof import ProofLog, check_drup
 from .result import Limits, SAT, SolverResult, SolverStats, UNKNOWN, UNSAT
 from .sim import (CorrelationSet, find_correlations, simulate_random,
@@ -49,6 +51,8 @@ __all__ = [
     "CSatEngine", "SolverOptions", "preset",
     "CertificationError", "CircuitError", "ParseError", "ReproError",
     "ResourceLimitExceeded", "SolverError",
+    "JsonlTracer", "PhaseTimers", "ProgressPrinter", "ProgressSnapshot",
+    "TraceSummary", "Tracer", "summarize_trace",
     "ProofLog", "check_drup",
     "Limits", "SAT", "SolverResult", "SolverStats", "UNKNOWN", "UNSAT",
     "CorrelationSet", "find_correlations", "simulate_random",

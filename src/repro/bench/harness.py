@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..circuit.cnf_convert import tseitin
@@ -57,6 +57,12 @@ class RunRecord:
     @property
     def aborted(self) -> bool:
         return self.status == UNKNOWN
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready cell, used by the repro.obs.export table exporter."""
+        record = asdict(self)
+        record["aborted"] = self.aborted
+        return record
 
     def time_cell(self) -> str:
         """The paper-style cell: seconds, or ``*`` for an aborted run."""
@@ -159,6 +165,9 @@ class ShapeCheck:
     description: str
     passed: bool
     detail: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
 
     def __str__(self) -> str:
         mark = "PASS" if self.passed else "FAIL"

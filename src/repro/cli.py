@@ -17,6 +17,11 @@ Commands
 ``fuzz``       differential fuzzing: random circuits through every engine,
                cross-checked and certified; failures shrunk into a corpus
 ``oracle``     run one circuit through every engine and compare answers
+``trace``      summarize a JSONL event trace written by ``solve --trace``
+
+``solve`` and ``solve-cnf`` accept the observability flags ``--trace FILE``
+(structured event tracing), ``--progress [N]`` (a progress line every N
+conflicts) and ``--json`` (machine-readable result on stdout).
 """
 
 from __future__ import annotations
@@ -48,10 +53,45 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="wall-clock budget in seconds")
 
 
+def _add_observability(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a JSONL event trace here "
+                             "(summarize with `repro trace FILE`)")
+    parser.add_argument("--progress", type=int, nargs="?", const=1000,
+                        default=0, metavar="N",
+                        help="print a progress line every N conflicts "
+                             "(default 1000) to stderr")
+    parser.add_argument("--json", action="store_true",
+                        help="print the result as JSON on stdout")
+
+
 def _limits(args) -> Optional[Limits]:
     if args.budget is None:
         return None
     return Limits(max_seconds=args.budget)
+
+
+def _observability(args):
+    """(tracer, solver kwargs) from the --trace/--progress flags.
+
+    The tracer is created here — not inside the solver — so the CLI owns
+    its lifetime and can close/report it after the solve.
+    """
+    from .obs import JsonlTracer, ProgressPrinter
+    tracer = JsonlTracer(args.trace) if args.trace else None
+    kwargs = {"trace": tracer,
+              "phase_timers": tracer is not None or args.json,
+              "progress_interval": args.progress,
+              "progress": ProgressPrinter() if args.progress else None}
+    return tracer, kwargs
+
+
+def _finish_trace(tracer) -> None:
+    if tracer is not None:
+        tracer.close()
+        print("wrote trace to {} ({} events)".format(tracer.path,
+                                                     tracer.events_written),
+              file=sys.stderr)
 
 
 def _read_circuit(path: str):
@@ -64,14 +104,24 @@ def _read_circuit(path: str):
         return read_bench(fh, name=path)
 
 
-def _print_result(result, label: str = "result") -> int:
-    print("{}: {}".format(label, result.status))
-    print("time: {:.3f}s (simulation {:.3f}s)".format(result.time_seconds,
-                                                      result.sim_seconds))
-    stats = result.stats
-    print("decisions={} conflicts={} propagations={} learned={}".format(
-        stats.decisions, stats.conflicts, stats.propagations,
-        stats.learned_clauses))
+def _print_result(result, label: str = "result", as_json: bool = False) -> int:
+    if as_json:
+        import json
+        print(json.dumps(dict(result.as_dict(), instance=label), indent=2))
+    else:
+        print("{}: {}".format(label, result.status))
+        # The paper's tables report solve and simulation time separately;
+        # so do we (time_seconds is the whole call, simulation included).
+        print("time: {:.3f}s (solve {:.3f}s, simulation {:.3f}s)".format(
+            result.time_seconds, result.solve_seconds, result.sim_seconds))
+        if result.phase_seconds:
+            print("phases: " + " ".join(
+                "{}={:.3f}s".format(phase, seconds)
+                for phase, seconds in result.phase_seconds.items()))
+        stats = result.stats
+        print("decisions={} conflicts={} propagations={} learned={}".format(
+            stats.decisions, stats.conflicts, stats.propagations,
+            stats.learned_clauses))
     if result.status == "SAT":
         return 10  # SAT-competition-style exit codes
     if result.status == "UNSAT":
@@ -83,9 +133,12 @@ def cmd_solve(args) -> int:
     from .proof import ProofLog
     circuit = _read_circuit(args.file)
     proof = ProofLog() if args.proof else None
-    solver = CircuitSolver(circuit, preset(args.preset), proof=proof)
+    tracer, obs_kwargs = _observability(args)
+    options = preset(args.preset, **obs_kwargs)
+    solver = CircuitSolver(circuit, options, proof=proof)
     result = solver.solve(limits=_limits(args))
-    code = _print_result(result, args.file)
+    _finish_trace(tracer)
+    code = _print_result(result, args.file, as_json=args.json)
     if args.proof and result.is_unsat:
         with open(args.proof, "w") as fh:
             fh.write(proof.to_text())
@@ -101,13 +154,15 @@ def cmd_solve(args) -> int:
 def cmd_solve_cnf(args) -> int:
     with open(args.file) as fh:
         formula = read_dimacs(fh, name=args.file)
+    tracer, obs_kwargs = _observability(args)
     if args.via_circuit:
         circuit, _ = cnf_to_circuit(formula)
-        result = CircuitSolver(circuit, preset(args.preset)).solve(
-            limits=_limits(args))
+        result = CircuitSolver(circuit, preset(args.preset, **obs_kwargs)) \
+            .solve(limits=_limits(args))
     else:
-        result = CnfSolver(formula).solve(limits=_limits(args))
-    return _print_result(result, args.file)
+        result = CnfSolver(formula, **obs_kwargs).solve(limits=_limits(args))
+    _finish_trace(tracer)
+    return _print_result(result, args.file, as_json=args.json)
 
 
 def cmd_equiv(args) -> int:
@@ -294,7 +349,30 @@ def cmd_bench(args) -> int:
         return 2
     result = ALL_TABLES[args.table](args.budget)
     print(result)
+    if args.json:
+        from .obs.export import export_table
+        export_table(result, args.json)
+        print("wrote {}".format(args.json))
     return 0 if result.all_passed else 1
+
+
+def cmd_trace(args) -> int:
+    import json
+    from .obs.summary import summarize_trace
+    try:
+        summary = summarize_trace(args.file, bins=args.bins, top=args.top)
+    except (OSError, ValueError) as exc:
+        print("cannot summarize {}: {}".format(args.file, exc),
+              file=sys.stderr)
+        return 2
+    if summary.events == 0:
+        print("empty trace: {}".format(args.file), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(summary.as_dict(), indent=2))
+    else:
+        print(summary.format())
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -311,6 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--proof", metavar="FILE",
                    help="write a DRUP proof here on UNSAT")
     _add_common(p)
+    _add_observability(p)
     p.set_defaults(func=cmd_solve)
 
     p = sub.add_parser("solve-cnf", help="solve a DIMACS CNF file")
@@ -319,6 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="convert to a 2-level circuit and use the circuit "
                         "solver (the paper's CNF path)")
     _add_common(p)
+    _add_observability(p)
     p.set_defaults(func=cmd_solve_cnf)
 
     p = sub.add_parser("equiv", help="equivalence-check two .bench circuits")
@@ -367,7 +447,20 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="regenerate one paper table")
     p.add_argument("table", help="table1 .. table10")
     p.add_argument("--budget", type=float, default=None)
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="also write the table's records/checks as JSON")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("trace",
+                       help="summarize a JSONL trace from solve --trace")
+    p.add_argument("file", help="trace file (JSONL events)")
+    p.add_argument("--bins", type=int, default=10,
+                   help="conflict-rate timeline buckets (default 10)")
+    p.add_argument("--top", type=int, default=10,
+                   help="how many top decision signals to show (default 10)")
+    p.add_argument("--json", action="store_true",
+                   help="print the summary as JSON")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("fuzz", help="differential fuzzing of all engines")
     p.add_argument("--cases", type=int, default=200,
@@ -397,7 +490,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early; not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ from heapq import heappop, heappush
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import SolverError
+from ..obs import PhaseTimers, ProgressSnapshot, complete_phases, make_tracer
 from ..result import Limits, SAT, SolverResult, SolverStats, UNKNOWN, UNSAT
 from .formula import CnfFormula
 
@@ -75,10 +76,27 @@ class CnfSolver:
                  restart_strategy: str = "geometric",
                  phase_saving: bool = False,
                  proof=None,
-                 certify: bool = False):
+                 certify: bool = False,
+                 trace=None,
+                 phase_timers: bool = False,
+                 progress_interval: int = 0,
+                 progress=None):
         #: Replay every answer through repro.verify.certify (raises
         #: CertificationError on mismatch).  Implies proof collection.
         self.certify = certify
+        # Observability (repro.obs): same contract as the circuit engine —
+        # tracer/timers are None when off, and the search loop pays only a
+        # None-test per iteration.
+        self.tracer = make_tracer(trace)
+        self.timers = (PhaseTimers()
+                       if phase_timers or self.tracer is not None else None)
+        if progress_interval < 0:
+            raise SolverError("progress_interval must be >= 0")
+        self.progress_interval = progress_interval
+        self.progress = progress
+        self._last_progress = (0.0, 0)   # (perf_counter, conflicts)
+        self._bj_sum = 0                 # back-jump lengths since the last
+        self._bj_count = 0               # progress snapshot (observed runs)
         if certify and proof is None:
             from ..proof import ProofLog
             proof = ProofLog()
@@ -223,11 +241,15 @@ class CnfSolver:
             self.clause_activity[ci] = self.cla_inc
             self.stats.learned_clauses += 1
             self.stats.learned_literals += len(lits)
+            if self.tracer is not None:
+                self.tracer.emit("learn", size=len(lits),
+                                 level=self.decision_level)
         return ci
 
     def _reduce_db(self) -> None:
         """Drop the less active half of the learned clauses."""
         act = self.clause_activity
+        before = len(self.learnt_idx)
         self.learnt_idx.sort(key=lambda ci: act.get(ci, 0.0))
         keep_from = len(self.learnt_idx) // 2
         kept: List[int] = []
@@ -244,6 +266,8 @@ class CnfSolver:
             del self.clause_activity[ci]
             self.stats.deleted_clauses += 1
         self.learnt_idx = kept
+        if self.tracer is not None:
+            self.tracer.emit("reduce_db", before=before, after=len(kept))
 
     # ------------------------------------------------------------------
     # BCP
@@ -455,15 +479,30 @@ class CnfSolver:
         limits = limits or Limits()
         assume = [_ilit(a) for a in assumptions]
         self._cancel_until(0)
+        tracer = self.tracer
+        timers = self.timers
+        timer_snap = timers.snapshot() if timers is not None else None
+        self._last_progress = (start, self.stats.conflicts)
+        if tracer is not None:
+            tracer.emit("solve_start", assumptions=len(assume),
+                        learned_db=len(self.learnt_idx))
         status = self._search(assume, limits, start)
         model = None
         if status == SAT:
             model = {v: bool(self.values[v]) for v in range(1, self.num_vars + 1)
                      if self.values[v] != _UNASSIGNED}
         self._cancel_until(0)
+        elapsed = time.perf_counter() - start
         result = SolverResult(status=status, model=model,
                               stats=self.stats.delta_since(stats0),
-                              time_seconds=time.perf_counter() - start)
+                              time_seconds=elapsed)
+        if timers is not None:
+            result.phase_seconds = complete_phases(
+                timers.delta_since(timer_snap), elapsed)
+        if tracer is not None:
+            tracer.emit("solve_end", status=status, seconds=round(elapsed, 6),
+                        phases={phase: round(seconds, 6) for phase, seconds
+                                in result.phase_seconds.items()})
         if self.certify:
             self._certify(result, assumptions)
         return result
@@ -491,14 +530,37 @@ class CnfSolver:
     def _search(self, assume: List[int], limits: Limits, start: float) -> str:
         if not self.ok:
             return UNSAT
+        tracer = self.tracer
+        timers = self.timers
+        clock = time.perf_counter
+        observed = tracer is not None or timers is not None
+        progress_every = (self.progress_interval
+                          if tracer is not None or self.progress is not None
+                          else 0)
         conflicts_at_entry = self.stats.conflicts
         restart_limit = self.restart_first
         conflicts_since_restart = 0
         while True:
-            confl = self._propagate()
+            if not observed:
+                confl = self._propagate()
+            else:
+                props_before = self.stats.propagations
+                t0 = clock()
+                confl = self._propagate()
+                if timers is not None:
+                    timers.bcp += clock() - t0
+                if tracer is not None \
+                        and self.stats.propagations > props_before:
+                    tracer.emit("implication_batch",
+                                n=self.stats.propagations - props_before,
+                                trail=len(self.trail),
+                                level=self.decision_level)
             if confl is not None:
                 self.stats.conflicts += 1
                 conflicts_since_restart += 1
+                if tracer is not None:
+                    tracer.emit("conflict", level=self.decision_level,
+                                trail=len(self.trail))
                 if self.decision_level == 0:
                     self.ok = False
                     if self.proof is not None:
@@ -507,11 +569,24 @@ class CnfSolver:
                 if self.decision_level <= len(assume):
                     # Conflict depends only on assumptions: UNSAT under them.
                     return UNSAT
-                learnt, bt_level = self._analyze(confl)
-                self._record_learnt(learnt, bt_level)
+                level_before = self.decision_level if progress_every else 0
+                if timers is None:
+                    learnt, bt_level = self._analyze(confl)
+                    self._record_learnt(learnt, bt_level)
+                else:
+                    t0 = clock()
+                    learnt, bt_level = self._analyze(confl)
+                    self._record_learnt(learnt, bt_level)
+                    timers.analyze += clock() - t0
+                if progress_every:
+                    self._bj_sum += level_before - bt_level
+                    self._bj_count += 1
                 if not self.ok:
                     return UNSAT
                 self._decay_activities()
+                if progress_every \
+                        and self.stats.conflicts % progress_every == 0:
+                    self._emit_progress(start)
                 if (self.stats.conflicts & 1023) == 0:
                     if (limits.max_conflicts is not None
                             and self.stats.conflicts - conflicts_at_entry
@@ -539,12 +614,22 @@ class CnfSolver:
                 else:
                     restart_limit = int(restart_limit * self.restart_factor)
                 self.stats.restarts += 1
+                if tracer is not None:
+                    tracer.emit("restart", conflicts=self.stats.conflicts,
+                                level=self.decision_level)
                 self._cancel_until(len(assume))
                 continue
             if len(self.learnt_idx) > self.max_learnts:
-                self._reduce_db()
+                if timers is None:
+                    self._reduce_db()
+                else:
+                    t0 = clock()
+                    self._reduce_db()
+                    timers.clause_db += clock() - t0
                 self.max_learnts *= 1.1
             # Next decision: pending assumptions first.
+            if timers is not None:
+                t0 = clock()
             next_lit = None
             while self.decision_level < len(assume):
                 a = assume[self.decision_level]
@@ -558,13 +643,41 @@ class CnfSolver:
                     break
             if next_lit is None:
                 next_lit = self._pick_branch()
+            if timers is not None:
+                timers.decision += clock() - t0
             if next_lit is None:
                 return SAT
             self.stats.decisions += 1
             self._new_decision_level()
             if self.decision_level > self.stats.max_decision_level:
                 self.stats.max_decision_level = self.decision_level
+            if tracer is not None:
+                tracer.emit("decision", node=next_lit >> 1,
+                            value=1 ^ (next_lit & 1),
+                            level=self.decision_level)
             self._enqueue(next_lit, _NO_REASON)
+
+    def _emit_progress(self, start: float) -> None:
+        """Build one progress snapshot and deliver it (tracer + callback)."""
+        now = time.perf_counter()
+        stats = self.stats
+        last_time, last_conflicts = self._last_progress
+        dt = now - last_time
+        rate = (stats.conflicts - last_conflicts) / dt if dt > 0 else 0.0
+        self._last_progress = (now, stats.conflicts)
+        avg_bj = self._bj_sum / self._bj_count if self._bj_count else 0.0
+        self._bj_sum = 0
+        self._bj_count = 0
+        snapshot = ProgressSnapshot(
+            elapsed=now - start, conflicts=stats.conflicts,
+            decisions=stats.decisions, propagations=stats.propagations,
+            restarts=stats.restarts, learned_db=len(self.learnt_idx),
+            trail_depth=len(self.trail), decision_level=self.decision_level,
+            conflict_rate=rate, avg_backjump=avg_bj)
+        if self.tracer is not None:
+            self.tracer.emit("progress", **snapshot.as_dict())
+        if self.progress is not None:
+            self.progress(snapshot)
 
 
 def solve_formula(formula: CnfFormula,

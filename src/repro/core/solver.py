@@ -20,6 +20,7 @@ from ..csat.explicit import ExplicitReport, run_explicit_learning
 from ..csat.implicit import attach_implicit_learning
 from ..csat.options import SolverOptions
 from ..errors import SolverError
+from ..obs import complete_phases
 from ..result import Limits, SAT, SolverResult, UNSAT
 from ..sim.correlation import CorrelationSet, find_correlations
 
@@ -73,6 +74,11 @@ class CircuitSolver:
             max_class_size=opts.max_class_size)
         elapsed = time.perf_counter() - t0
         self.correlations.sim_seconds = elapsed
+        if self.engine.tracer is not None:
+            self.engine.tracer.emit(
+                "phase", phase="simulation", seconds=round(elapsed, 6),
+                pairs=len(self.correlations.pair_correlations()),
+                constants=len(self.correlations.constant_correlations()))
         return elapsed
 
     def prepare(self, limits: Optional[Limits] = None) -> float:
@@ -106,6 +112,9 @@ class CircuitSolver:
         """
         start = time.perf_counter()
         stats0 = self.engine.stats.copy()
+        timers = self.engine.timers
+        timer_snap = timers.snapshot() if timers is not None else None
+        engine_seconds0 = self.engine.solve_seconds_total
         if objectives is None:
             objectives = list(self.circuit.outputs)
             if not objectives:
@@ -125,6 +134,23 @@ class CircuitSolver:
         result.stats = self.engine.stats.delta_since(stats0)
         result.time_seconds = time.perf_counter() - start
         result.sim_seconds = sim_seconds
+        if timers is not None:
+            # Whole-call phase split: engine phases accumulated across the
+            # explicit-learning sub-problems *and* the main search, plus the
+            # simulation phase and the unaccounted remainder.
+            result.phase_seconds = complete_phases(
+                timers.delta_since(timer_snap), result.time_seconds,
+                sim_seconds)
+        if self.engine.tracer is not None:
+            # The per-call solve_end events only cover time inside engine
+            # solve() calls; account the orchestration spent between them
+            # (explicit-learning setup, correlation wiring) so a trace's
+            # phase seconds sum to this call's wall time.
+            gap = (result.time_seconds - sim_seconds
+                   - (self.engine.solve_seconds_total - engine_seconds0))
+            if gap > 0.0:
+                self.engine.tracer.emit("phase", phase="other",
+                                        seconds=round(gap, 6))
         if self.options.certify:
             # Imported here: repro.verify sits above core in the layering.
             from ..verify.certify import certify_result, require

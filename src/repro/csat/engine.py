@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuit.netlist import Circuit
 from ..errors import SolverError
+from ..obs import PhaseTimers, ProgressSnapshot, complete_phases, make_tracer
 from ..result import Limits, SAT, SolverResult, SolverStats, UNKNOWN, UNSAT
 from .frame import Frame, NO_REASON, UNASSIGNED
 from .options import SolverOptions
@@ -178,6 +179,19 @@ class CSatEngine:
         # Restart bookkeeping (average back-jump rule).
         self._bj_sum = 0
         self._bj_count = 0
+        self._window_avg = 0.0  # last completed window's average
+
+        # Observability (repro.obs).  Both are None when off — the search
+        # loop hoists them into locals and a disabled run pays only one
+        # None-test per iteration, never per propagated literal.
+        self.tracer = make_tracer(options.trace)
+        self.timers = (PhaseTimers()
+                       if options.phase_timers or self.tracer is not None
+                       else None)
+        self._last_progress = (0.0, 0)  # (perf_counter, conflicts)
+        #: Wall seconds spent inside solve() calls, cumulative; the gap
+        #: against a wrapper's own wall clock is its orchestration time.
+        self.solve_seconds_total = 0.0
 
         self.max_learnts = options.learnt_limit_base
         self.stats = SolverStats()
@@ -540,6 +554,9 @@ class CSatEngine:
                 self._assign(lits[0] >> 1, 1 - (lits[0] & 1), NO_REASON)
             self.stats.learned_clauses += 1
             self.stats.learned_literals += 1
+            if self.tracer is not None:
+                self.tracer.emit("learn", size=1,
+                                 level=len(self.frame.trail_lim))
             return None
         ci = len(self.clauses)
         self.clauses.append(list(lits))
@@ -550,6 +567,9 @@ class CSatEngine:
         self.clause_activity[ci] = self.cla_inc
         self.stats.learned_clauses += 1
         self.stats.learned_literals += len(lits)
+        if self.tracer is not None:
+            self.tracer.emit("learn", size=len(lits),
+                             level=len(self.frame.trail_lim))
         if self.options.use_jnode and self.options.jnode_learned:
             jheap = self.jheap
             activity = self.activity
@@ -578,6 +598,7 @@ class CSatEngine:
     def _reduce_db(self) -> None:
         act = self.clause_activity
         frame = self.frame
+        before = len(self.learnt_idx)
         self.learnt_idx.sort(key=lambda ci: act.get(ci, 0.0))
         keep_from = len(self.learnt_idx) // 2
         kept: List[int] = []
@@ -596,6 +617,8 @@ class CSatEngine:
             self.watch_ptrs.pop(ci, None)
             self.stats.deleted_clauses += 1
         self.learnt_idx = kept
+        if self.tracer is not None:
+            self.tracer.emit("reduce_db", before=before, after=len(kept))
 
     # ------------------------------------------------------------------
     # Decision selection
@@ -656,6 +679,9 @@ class CSatEngine:
                 # "immediately"); stale entries from undone levels are junk.
                 if values[node] < 0 and values[trigger] >= 0:
                     self.stats.correlation_decisions += 1
+                    if self.tracer is not None:
+                        self.tracer.emit("correlation_hit", node=node,
+                                         corr="pair", trigger=trigger)
                     return 2 * node + (1 - forced)
         if options.use_jnode:
             lit = self._pick_jnode_decision()
@@ -671,6 +697,9 @@ class CSatEngine:
             if likely >= 0:
                 # Algorithm IV.1: decide the value most likely to conflict.
                 self.stats.correlation_decisions += 1
+                if self.tracer is not None:
+                    self.tracer.emit("correlation_hit", node=node,
+                                     corr="const", likely=likely)
                 return 2 * node + likely  # assign 1-likely
         return lit
 
@@ -700,6 +729,13 @@ class CSatEngine:
         limits = limits or Limits()
         self._cancel_until(0)
         self.pending_correlated.clear()
+        tracer = self.tracer
+        timers = self.timers
+        timer_snap = timers.snapshot() if timers is not None else None
+        self._last_progress = (start, self.stats.conflicts)
+        if tracer is not None:
+            tracer.emit("solve_start", assumptions=len(assumptions),
+                        learned_db=len(self.learnt_idx))
         status = self._search(list(assumptions), limits, start, max_learned)
         if (status == UNSAT and proof_refutation and self.proof is not None
                 and not self.proof.complete):
@@ -712,9 +748,19 @@ class CSatEngine:
             model = {node: bool(values[node]) for node in range(self.num_nodes)
                      if values[node] >= 0}
         self._cancel_until(0)
-        return SolverResult(status=status, model=model,
-                            stats=self.stats.delta_since(stats0),
-                            time_seconds=time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        result = SolverResult(status=status, model=model,
+                              stats=self.stats.delta_since(stats0),
+                              time_seconds=elapsed)
+        if timers is not None:
+            result.phase_seconds = complete_phases(
+                timers.delta_since(timer_snap), elapsed)
+        self.solve_seconds_total += elapsed
+        if tracer is not None:
+            tracer.emit("solve_end", status=status, seconds=round(elapsed, 6),
+                        phases={phase: round(seconds, 6) for phase, seconds
+                                in result.phase_seconds.items()})
+        return result
 
     def _note_backjump(self, jump_length: int) -> bool:
         """Paper's restart rule (Section IV-A): record one backtrack's jump
@@ -728,6 +774,7 @@ class CSatEngine:
         if self._bj_count < options.restart_window:
             return False
         avg = self._bj_sum / self._bj_count
+        self._window_avg = avg
         self._bj_sum = 0
         self._bj_count = 0
         return options.restart_enabled and avg < options.restart_threshold
@@ -739,14 +786,39 @@ class CSatEngine:
         options = self.options
         frame = self.frame
         stats = self.stats
+        tracer = self.tracer
+        timers = self.timers
+        clock = time.perf_counter
+        observed = tracer is not None or timers is not None
+        progress_every = (options.progress_interval
+                          if tracer is not None or options.progress is not None
+                          else 0)
         conflicts_at_entry = stats.conflicts
         learned_at_entry = stats.learned_clauses
+        max_decisions = limits.max_decisions
         decision_check = 0
         while True:
-            conflict = self._propagate()
+            if not observed:
+                conflict = self._propagate()
+            else:
+                props_before = stats.propagations
+                impl_before = stats.implications
+                t0 = clock()
+                conflict = self._propagate()
+                if timers is not None:
+                    timers.bcp += clock() - t0
+                if tracer is not None and stats.propagations > props_before:
+                    tracer.emit("implication_batch",
+                                n=stats.propagations - props_before,
+                                implied=stats.implications - impl_before,
+                                trail=len(frame.trail),
+                                level=len(frame.trail_lim))
             if conflict is not None:
                 stats.conflicts += 1
                 level = len(frame.trail_lim)
+                if tracer is not None:
+                    tracer.emit("conflict", level=level,
+                                trail=len(frame.trail))
                 if level == 0:
                     self.ok = False
                     if self.proof is not None:
@@ -754,8 +826,14 @@ class CSatEngine:
                     return UNSAT
                 if level <= len(assume):
                     return UNSAT  # conflict depends only on assumptions
-                learnt, bt_level = self._analyze(conflict)
-                self._record_learnt(learnt, bt_level)
+                if timers is None:
+                    learnt, bt_level = self._analyze(conflict)
+                    self._record_learnt(learnt, bt_level)
+                else:
+                    t0 = clock()
+                    learnt, bt_level = self._analyze(conflict)
+                    self._record_learnt(learnt, bt_level)
+                    timers.analyze += clock() - t0
                 if not self.ok:
                     return UNSAT
                 self.var_inc /= options.var_decay
@@ -766,8 +844,14 @@ class CSatEngine:
                     self.cla_inc *= 1e-100
                 if self._note_backjump(level - bt_level):
                     stats.restarts += 1
+                    if tracer is not None:
+                        tracer.emit("restart", conflicts=stats.conflicts,
+                                    level=level)
                     self._cancel_until(0)
                     self.pending_correlated.clear()
+                if progress_every \
+                        and stats.conflicts % progress_every == 0:
+                    self._emit_progress(start)
                 if max_learned is not None and \
                         stats.learned_clauses - learned_at_entry >= max_learned:
                     return UNKNOWN
@@ -786,17 +870,26 @@ class CSatEngine:
                 if (limits.max_seconds is not None
                         and time.perf_counter() - start >= limits.max_seconds):
                     return UNKNOWN
-                if (limits.max_decisions is not None
-                        and stats.decisions >= limits.max_decisions):
-                    return UNKNOWN
                 if (limits.max_conflicts is not None
                         and stats.conflicts - conflicts_at_entry
                         >= limits.max_conflicts):
                     return UNKNOWN
+            # Decision budgets are precise (checked every decision), so an
+            # UNKNOWN result's partial stats land within one decision of
+            # the limit rather than one 256-wide check window.
+            if max_decisions is not None and stats.decisions >= max_decisions:
+                return UNKNOWN
             if len(self.learnt_idx) > self.max_learnts:
-                self._reduce_db()
+                if timers is None:
+                    self._reduce_db()
+                else:
+                    t0 = clock()
+                    self._reduce_db()
+                    timers.clause_db += clock() - t0
                 self.max_learnts *= options.learnt_limit_growth
 
+            if timers is not None:
+                t0 = clock()
             next_lit = None
             while len(frame.trail_lim) < len(assume):
                 a = assume[len(frame.trail_lim)]
@@ -810,10 +903,38 @@ class CSatEngine:
                     break
             if next_lit is None:
                 next_lit = self._next_decision()
+            if timers is not None:
+                timers.decision += clock() - t0
             if next_lit is None:
                 return SAT
             stats.decisions += 1
             frame.trail_lim.append(len(frame.trail))
             if len(frame.trail_lim) > stats.max_decision_level:
                 stats.max_decision_level = len(frame.trail_lim)
+            if tracer is not None:
+                tracer.emit("decision", node=next_lit >> 1,
+                            value=1 - (next_lit & 1),
+                            level=len(frame.trail_lim))
             self._assign(next_lit >> 1, 1 - (next_lit & 1), NO_REASON)
+
+    def _emit_progress(self, start: float) -> None:
+        """Build one progress snapshot and deliver it (tracer + callback)."""
+        now = time.perf_counter()
+        stats = self.stats
+        last_time, last_conflicts = self._last_progress
+        dt = now - last_time
+        rate = (stats.conflicts - last_conflicts) / dt if dt > 0 else 0.0
+        self._last_progress = (now, stats.conflicts)
+        avg_bj = (self._bj_sum / self._bj_count if self._bj_count
+                  else self._window_avg)
+        snapshot = ProgressSnapshot(
+            elapsed=now - start, conflicts=stats.conflicts,
+            decisions=stats.decisions, propagations=stats.propagations,
+            restarts=stats.restarts, learned_db=len(self.learnt_idx),
+            trail_depth=len(self.frame.trail),
+            decision_level=len(self.frame.trail_lim),
+            conflict_rate=rate, avg_backjump=avg_bj)
+        if self.tracer is not None:
+            self.tracer.emit("progress", **snapshot.as_dict())
+        if self.options.progress is not None:
+            self.options.progress(snapshot)

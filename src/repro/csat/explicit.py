@@ -128,6 +128,12 @@ def run_explicit_learning(engine: CSatEngine,
         report.subproblems_run += 1
         engine.stats.subproblems_solved += 1
         engine.stats.subproblem_conflicts += result.stats.conflicts
+        if engine.tracer is not None:
+            engine.tracer.emit("subproblem", index=report.subproblems_run - 1,
+                               sub=sub.kind, status=result.status,
+                               assumptions=sub.assumptions,
+                               conflicts=result.stats.conflicts,
+                               learned=result.stats.learned_clauses)
         if result.status == UNSAT:
             report.subproblems_unsat += 1
             engine.stats.subproblems_unsat += 1

@@ -8,7 +8,7 @@ presets — see :func:`preset`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Callable, Optional
 
 from ..errors import SolverError
 
@@ -69,6 +69,22 @@ class SolverOptions:
         computed (paper: 4096).
     restart_threshold
         Restart when the window average drops below this (paper: 1.2).
+
+    Observability (repro.obs)
+    -------------------------
+    trace
+        ``None`` (off, the zero-overhead default), a path, a writable
+        file object, or a :class:`repro.obs.Tracer`: structured JSONL
+        event tracing of the search.
+    phase_timers
+        Split wall time into bcp / analyze / clause_db / decision and
+        report it as ``SolverResult.phase_seconds``.  Implied by
+        ``trace``.
+    progress_interval / progress
+        Every ``progress_interval`` conflicts (0 = never) build a
+        :class:`repro.obs.ProgressSnapshot` and pass it to the
+        ``progress`` callback (also emitted to the trace when one is
+        attached).
     """
 
     # Decision engine.
@@ -105,8 +121,15 @@ class SolverOptions:
     # the DRUP checker; raises CertificationError on mismatch.  A proof log
     # is attached automatically when none was supplied.
     certify: bool = False
+    # Observability (repro.obs).
+    trace: Optional[Any] = None
+    phase_timers: bool = False
+    progress_interval: int = 0
+    progress: Optional[Callable] = None
 
     def validate(self) -> None:
+        if self.progress_interval < 0:
+            raise SolverError("progress_interval must be >= 0")
         if self.explicit_order not in _ORDERINGS:
             raise SolverError("explicit_order must be one of {}"
                               .format(_ORDERINGS))

@@ -1,0 +1,34 @@
+"""repro.obs — solver telemetry: tracing, phase timers, progress, export.
+
+The observability layer both engines report through:
+
+* :mod:`repro.obs.trace` — structured JSONL event tracing
+  (:class:`JsonlTracer`), attached via ``SolverOptions.trace`` or
+  ``CnfSolver(trace=...)``;
+* :mod:`repro.obs.timers` — per-phase wall-time split
+  (:class:`PhaseTimers`), surfaced as ``SolverResult.phase_seconds``;
+* :mod:`repro.obs.progress` — periodic :class:`ProgressSnapshot` delivery
+  for long runs (``--progress`` on the CLI);
+* :mod:`repro.obs.summary` — trace-file analysis behind ``repro trace``;
+* :mod:`repro.obs.export` — machine-readable benchmark output
+  (``BENCH_micro.json``, per-table JSON).
+
+This package sits *below* the engines in the import graph (the engines
+import it, never the reverse), so it must stay free of solver imports.
+See ``docs/observability.md`` for the event schema and overhead notes.
+"""
+
+from .export import (environment_info, export_micro, export_table,
+                     micro_document, table_document)
+from .progress import ProgressPrinter, ProgressSnapshot
+from .summary import TraceSummary, read_trace, summarize_events, summarize_trace
+from .timers import ALL_PHASES, SEARCH_PHASES, PhaseTimers, complete_phases
+from .trace import EVENT_KINDS, JsonlTracer, NULL_TRACER, Tracer, make_tracer
+
+__all__ = [
+    "ALL_PHASES", "EVENT_KINDS", "JsonlTracer", "NULL_TRACER",
+    "PhaseTimers", "ProgressPrinter", "ProgressSnapshot", "SEARCH_PHASES",
+    "TraceSummary", "Tracer", "complete_phases", "environment_info",
+    "export_micro", "export_table", "make_tracer", "micro_document",
+    "read_trace", "summarize_events", "summarize_trace", "table_document",
+]

@@ -1,0 +1,59 @@
+"""Progress snapshots: periodic pulse of a long-running search.
+
+Every ``progress_interval`` conflicts the engine builds a
+:class:`ProgressSnapshot` — the rates and shape indicators an operator
+watches to judge whether a run is converging (rising back-jump lengths,
+shrinking trail churn) or thrashing.  Snapshots are delivered to the
+configured callback (the CLI uses :class:`ProgressPrinter`) and, when a
+tracer is attached, also written to the trace as ``progress`` events.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import asdict, dataclass
+from typing import Any, Dict
+
+
+@dataclass
+class ProgressSnapshot:
+    """One periodic measurement of a running search."""
+
+    elapsed: float          # seconds since the solve() call began
+    conflicts: int          # cumulative engine counters...
+    decisions: int
+    propagations: int
+    restarts: int
+    learned_db: int         # learned clauses currently in the database
+    trail_depth: int        # assigned literals right now
+    decision_level: int
+    conflict_rate: float    # conflicts/second since the previous snapshot
+    avg_backjump: float     # current restart-window average back-jump length
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def format(self) -> str:
+        """One fixed-width line, suitable for streaming to a terminal."""
+        return ("[{:8.2f}s] conflicts={:<8d} ({:7.1f}/s) decisions={:<9d} "
+                "restarts={:<4d} learned-db={:<6d} trail={:<6d} level={:<4d} "
+                "avg-backjump={:.2f}".format(
+                    self.elapsed, self.conflicts, self.conflict_rate,
+                    self.decisions, self.restarts, self.learned_db,
+                    self.trail_depth, self.decision_level,
+                    self.avg_backjump))
+
+
+class ProgressPrinter:
+    """Callback printing each snapshot as one line (default: stderr, so
+    progress interleaves cleanly with machine-readable stdout output)."""
+
+    def __init__(self, stream=None, prefix: str = ""):
+        self.stream = stream if stream is not None else sys.stderr
+        self.prefix = prefix
+        self.lines = 0
+
+    def __call__(self, snapshot: ProgressSnapshot) -> None:
+        self.stream.write(self.prefix + snapshot.format() + "\n")
+        self.stream.flush()
+        self.lines += 1

@@ -1,0 +1,191 @@
+"""Trace-file summarization: the analysis side of ``repro trace``.
+
+Reads a JSONL trace produced by :class:`repro.obs.trace.JsonlTracer` and
+condenses it into a :class:`TraceSummary`: event counts (directly
+comparable against ``SolverStats`` counters), a per-phase time breakdown
+(from ``solve_end`` / ``phase`` events), a conflict-rate timeline, the
+most-decided signals, and the explicit-learning sub-problem tally.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+def read_trace(path: str) -> Iterator[Dict[str, Any]]:
+    """Yield trace events; malformed lines raise ``ValueError`` with the
+    line number (a truncated final line — killed run — is tolerated)."""
+    with open(path) as fh:
+        previous = None
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                if previous is not None:
+                    # A torn final write is expected from an aborted run.
+                    break
+                raise ValueError(
+                    "not a trace file: line {} is not JSON".format(lineno))
+            previous = event
+            yield event
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro trace`` reports about one trace file."""
+
+    path: str
+    events: int = 0
+    duration: float = 0.0                      # last timestamp seen
+    counts: Dict[str, int] = field(default_factory=dict)
+    #: decision/conflict/restart/learn counts, named like SolverStats.
+    stat_counts: Dict[str, int] = field(default_factory=dict)
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    solve_statuses: List[str] = field(default_factory=list)
+    subproblems_run: int = 0
+    subproblems_unsat: int = 0
+    #: (bucket_end_seconds, conflicts_in_bucket, conflicts_per_second)
+    conflict_timeline: List[Tuple[float, int, float]] = field(
+        default_factory=list)
+    #: (node, decision_count), most-decided first.
+    top_decision_nodes: List[Tuple[int, int]] = field(default_factory=list)
+    propagated_literals: int = 0
+    gate_implications: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "events": self.events,
+            "duration": self.duration,
+            "counts": dict(self.counts),
+            "stat_counts": dict(self.stat_counts),
+            "phase_seconds": dict(self.phase_seconds),
+            "solve_statuses": list(self.solve_statuses),
+            "subproblems_run": self.subproblems_run,
+            "subproblems_unsat": self.subproblems_unsat,
+            "conflict_timeline": [list(b) for b in self.conflict_timeline],
+            "top_decision_nodes": [list(p) for p in self.top_decision_nodes],
+            "propagated_literals": self.propagated_literals,
+            "gate_implications": self.gate_implications,
+        }
+
+    def format(self) -> str:
+        lines = ["trace: {}".format(self.path),
+                 "events: {} over {:.3f}s".format(self.events, self.duration)]
+        if self.solve_statuses:
+            tally = Counter(self.solve_statuses)
+            lines.append("solves: {} ({})".format(
+                len(self.solve_statuses),
+                ", ".join("{} {}".format(n, status)
+                          for status, n in tally.most_common())))
+        sc = self.stat_counts
+        lines.append("decisions={} conflicts={} restarts={} learned={}"
+                     .format(sc.get("decisions", 0), sc.get("conflicts", 0),
+                             sc.get("restarts", 0),
+                             sc.get("learned_clauses", 0)))
+        lines.append("propagated={} gate-implications={} correlation-hits={} "
+                     "reduce-db={}".format(
+                         self.propagated_literals, self.gate_implications,
+                         self.counts.get("correlation_hit", 0),
+                         self.counts.get("reduce_db", 0)))
+        if self.subproblems_run:
+            lines.append("explicit-learning subproblems: {} run, {} UNSAT"
+                         .format(self.subproblems_run, self.subproblems_unsat))
+        if self.phase_seconds:
+            total = sum(self.phase_seconds.values())
+            lines.append("phase breakdown ({:.3f}s accounted):".format(total))
+            for phase, seconds in sorted(self.phase_seconds.items(),
+                                         key=lambda kv: -kv[1]):
+                share = 100.0 * seconds / total if total > 0 else 0.0
+                lines.append("  {:<12s} {:>9.3f}s  {:5.1f}%".format(
+                    phase, seconds, share))
+        if self.conflict_timeline:
+            lines.append("conflict-rate timeline:")
+            peak = max(r for _, _, r in self.conflict_timeline) or 1.0
+            for end, n, rate in self.conflict_timeline:
+                bar = "#" * max(1 if n else 0, int(round(20 * rate / peak)))
+                lines.append("  t<{:8.3f}s {:>8d} conflicts {:>9.1f}/s {}"
+                             .format(end, n, rate, bar))
+        if self.top_decision_nodes:
+            lines.append("top decision signals (node: decisions):")
+            lines.append("  " + "  ".join("{}:{}".format(node, count)
+                                          for node, count
+                                          in self.top_decision_nodes))
+        return "\n".join(lines)
+
+
+_STAT_EVENTS = {"decision": "decisions", "conflict": "conflicts",
+                "restart": "restarts", "learn": "learned_clauses"}
+
+
+def summarize_events(events: Iterable[Dict[str, Any]], path: str = "<events>",
+                     bins: int = 10, top: int = 10) -> TraceSummary:
+    """Summarize an iterable of already-decoded trace events."""
+    summary = TraceSummary(path=path)
+    counts: Counter = Counter()
+    decision_nodes: Counter = Counter()
+    phase_seconds: Counter = Counter()
+    conflict_times: List[float] = []
+    last_t = 0.0
+    for event in events:
+        kind = event.get("kind", "?")
+        counts[kind] += 1
+        summary.events += 1
+        t = event.get("t")
+        if isinstance(t, (int, float)) and t > last_t:
+            last_t = t
+        if kind == "decision":
+            node = event.get("node")
+            if node is not None:
+                decision_nodes[node] += 1
+        elif kind == "conflict":
+            if isinstance(t, (int, float)):
+                conflict_times.append(t)
+        elif kind == "implication_batch":
+            summary.propagated_literals += event.get("n", 0)
+            summary.gate_implications += event.get("implied", 0)
+        elif kind == "solve_end":
+            status = event.get("status")
+            if status:
+                summary.solve_statuses.append(status)
+            for phase, seconds in (event.get("phases") or {}).items():
+                phase_seconds[phase] += seconds
+        elif kind == "phase":
+            phase_seconds[event.get("phase", "?")] += event.get("seconds", 0.0)
+        elif kind == "subproblem":
+            summary.subproblems_run += 1
+            if event.get("status") == "UNSAT":
+                summary.subproblems_unsat += 1
+    summary.counts = dict(counts)
+    summary.stat_counts = {stat: counts.get(kind, 0)
+                           for kind, stat in _STAT_EVENTS.items()}
+    summary.phase_seconds = dict(phase_seconds)
+    summary.duration = last_t
+    summary.top_decision_nodes = decision_nodes.most_common(top)
+    summary.conflict_timeline = _timeline(conflict_times, last_t, bins)
+    return summary
+
+
+def _timeline(conflict_times: List[float], duration: float,
+              bins: int) -> List[Tuple[float, int, float]]:
+    """Bucket conflict timestamps into equal time bins with rates."""
+    if not conflict_times or duration <= 0.0 or bins <= 0:
+        return []
+    width = duration / bins
+    buckets = [0] * bins
+    for t in conflict_times:
+        index = min(int(t / width), bins - 1)
+        buckets[index] += 1
+    return [(round(width * (i + 1), 6), n, n / width)
+            for i, n in enumerate(buckets)]
+
+
+def summarize_trace(path: str, bins: int = 10, top: int = 10) -> TraceSummary:
+    """Read and summarize one JSONL trace file."""
+    return summarize_events(read_trace(path), path=path, bins=bins, top=top)

@@ -1,0 +1,84 @@
+"""Phase timers: split solver wall time into where it was actually spent.
+
+The paper's tables separate "Simulation" from solve time; for tuning the
+Python hot paths we need the solve side split further.  A
+:class:`PhaseTimers` accumulates seconds into four search phases:
+
+``bcp``
+    Propagation to fixpoint (gate lookup table + learned-clause watches,
+    or CNF watched literals).
+``analyze``
+    Conflict analysis: 1UIP resolution, clause recording, backjumping.
+``clause_db``
+    Learned-clause database maintenance (activity-sorted deletion).
+``decision``
+    Decision selection (assumption replay, VSIDS / J-node heaps,
+    correlation hooks).
+
+Two phases are added by the callers when building the
+``SolverResult.phase_seconds`` dict:
+
+``simulation``
+    Random-simulation correlation discovery (:class:`CircuitSolver` only).
+``other``
+    The unaccounted remainder of the measured wall time (result
+    construction, model extraction, certification, explicit-learning glue),
+    computed so the phases always sum to ``time_seconds``.
+
+Timers are cumulative across ``solve()`` calls on one engine, mirroring
+``SolverStats``; per-call figures use :meth:`snapshot` +
+:meth:`delta_since`.  The engines only instrument when a timer object is
+attached (``timers is None`` is the guaranteed-off fast path), and each
+search-loop iteration costs at most a handful of ``perf_counter`` calls —
+never one per propagated literal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Search phases accumulated by the engines, in reporting order.
+SEARCH_PHASES = ("bcp", "analyze", "clause_db", "decision")
+
+#: Full reporting order for ``SolverResult.phase_seconds``.
+ALL_PHASES = ("simulation",) + SEARCH_PHASES + ("other",)
+
+
+class PhaseTimers:
+    """Accumulated seconds per search phase (plain attributes, no dict
+    lookups on the hot path)."""
+
+    __slots__ = SEARCH_PHASES
+
+    def __init__(self) -> None:
+        self.bcp = 0.0
+        self.analyze = 0.0
+        self.clause_db = 0.0
+        self.decision = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in SEARCH_PHASES}
+
+    def snapshot(self) -> Tuple[float, ...]:
+        """Cheap copy of the current totals, for later :meth:`delta_since`."""
+        return tuple(getattr(self, name) for name in SEARCH_PHASES)
+
+    def delta_since(self, snap: Tuple[float, ...]) -> Dict[str, float]:
+        """Seconds accumulated per phase since ``snap``."""
+        return {name: getattr(self, name) - snap[i]
+                for i, name in enumerate(SEARCH_PHASES)}
+
+
+def complete_phases(search_phases: Dict[str, float], total_seconds: float,
+                    sim_seconds: float = 0.0) -> Dict[str, float]:
+    """Build the full ``phase_seconds`` dict for a result.
+
+    Adds ``simulation`` and the ``other`` remainder so the values sum to
+    ``total_seconds`` exactly (clamped at zero: timer granularity can make
+    the accounted time overshoot a very short run).
+    """
+    phases = {"simulation": sim_seconds}
+    phases.update(search_phases)
+    accounted = sim_seconds + sum(search_phases.values())
+    phases["other"] = max(0.0, total_seconds - accounted)
+    return phases

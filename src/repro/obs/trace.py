@@ -1,0 +1,148 @@
+"""Structured event tracing: where search effort goes, as it happens.
+
+The tracer is a JSONL sink: one JSON object per line, each carrying a
+monotonic timestamp ``t`` (seconds since the tracer was created) and a
+``kind``.  Both solver engines emit events at the points where the
+corresponding :class:`~repro.result.SolverStats` counters are incremented,
+so for any completed run the event counts and the stats counters agree
+exactly — this invariant is what makes a trace diffable against a result.
+
+Event kinds
+-----------
+
+``solve_start`` / ``solve_end``
+    One pair per ``solve()`` call (explicit-learning sub-problems are
+    nested calls and produce their own pairs).  ``solve_end`` carries the
+    status and, when phase timers are active, the per-phase seconds of
+    that call.
+``decision``
+    One per counted decision (``stats.decisions``), with the decided node,
+    value, and decision level.
+``implication_batch``
+    One per BCP run that assigned at least one literal: number of
+    propagated trail entries, gate implications, trail depth.
+``conflict``
+    One per conflict (``stats.conflicts``), with the decision level.
+``learn``
+    One per learned clause (``stats.learned_clauses``), with its size.
+``restart`` / ``reduce_db``
+    Clause-database and restart maintenance events.
+``correlation_hit``
+    The implicit-learning hook fired (``stats.correlation_decisions``).
+``subproblem``
+    One explicit-learning sub-problem finished (kind, status, conflicts).
+``phase``
+    A non-search phase completed (e.g. ``simulation``), with seconds.
+``progress``
+    Periodic progress snapshot (see :mod:`repro.obs.progress`).
+
+Overhead
+--------
+
+The guaranteed-off fast path is ``tracer = None``: the engines hoist the
+tracer into a local and guard every emission site with ``is not None``, so
+a run without tracing pays one pointer comparison per search-loop
+iteration and nothing per propagation.  :data:`NULL_TRACER` (an always-off
+:class:`Tracer`) exists for callers that want an object rather than None.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from typing import Any, Optional
+
+EVENT_KINDS = (
+    "solve_start", "solve_end", "decision", "implication_batch", "conflict",
+    "learn", "restart", "reduce_db", "correlation_hit", "subproblem",
+    "phase", "progress",
+)
+
+
+class Tracer:
+    """No-op base tracer: accepts every event and drops it.
+
+    Also the extension point — subclass and override :meth:`emit` to route
+    events anywhere (the built-in :class:`JsonlTracer` writes JSONL).
+    """
+
+    #: False on the base class; engines treat a disabled tracer as None.
+    enabled = False
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+#: Shared always-off tracer instance.
+NULL_TRACER = Tracer()
+
+
+class JsonlTracer(Tracer):
+    """Writes one JSON object per event to a file or file-like sink.
+
+    ``sink`` may be a path (the file is opened and owned — :meth:`close`
+    closes it) or any object with a ``write`` method (borrowed; only
+    flushed on close).  Timestamps come from ``clock`` (default
+    ``time.perf_counter``) relative to construction time, so they are
+    monotonic and start near zero.
+    """
+
+    enabled = True
+
+    def __init__(self, sink, clock=time.perf_counter):
+        self._clock = clock
+        self._t0 = clock()
+        self.events_written = 0
+        if isinstance(sink, (str, os.PathLike)):
+            self.path: Optional[str] = os.fspath(sink)
+            self._fh = open(self.path, "w")
+            self._owns = True
+        else:
+            self.path = getattr(sink, "name", None)
+            self._fh = sink
+            self._owns = False
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        record = {"t": round(self._clock() - self._t0, 6), "kind": kind}
+        record.update(fields)
+        self._fh.write(json.dumps(record, separators=(",", ":")))
+        self._fh.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._fh is None:
+            return
+        if self._owns:
+            self._fh.close()
+        else:
+            try:
+                self._fh.flush()
+            except (ValueError, io.UnsupportedOperation):
+                pass  # sink already closed / not flushable
+        self._fh = None
+
+
+def make_tracer(spec) -> Optional[Tracer]:
+    """Normalize a user-facing trace spec into ``Optional[Tracer]``.
+
+    ``None``/``False`` mean off; a :class:`Tracer` passes through (None if
+    it is disabled, e.g. :data:`NULL_TRACER`); a path or writable object
+    becomes a :class:`JsonlTracer`.  Engines store the normalized value so
+    the hot path only ever tests ``is not None``.
+    """
+    if spec is None or spec is False:
+        return None
+    if isinstance(spec, Tracer):
+        return spec if spec.enabled else None
+    return JsonlTracer(spec)

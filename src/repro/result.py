@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Dict, List, Optional
+from typing import Any, Dict, Optional
 
 SAT = "SAT"
 UNSAT = "UNSAT"
@@ -87,6 +87,11 @@ class SolverResult:
     time_seconds: float = 0.0
     sim_seconds: float = 0.0  # correlation-discovery time (reported separately,
     #                           as the paper's "Simulation" columns do)
+    #: Wall time split by phase (bcp / analyze / clause_db / decision /
+    #: simulation / other), populated when phase timers are enabled
+    #: (``SolverOptions.phase_timers`` or any attached tracer).  Empty dict
+    #: otherwise.  See repro.obs.timers.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def is_sat(self) -> bool:
@@ -95,6 +100,25 @@ class SolverResult:
     @property
     def is_unsat(self) -> bool:
         return self.status == UNSAT
+
+    @property
+    def solve_seconds(self) -> float:
+        """Search time excluding correlation discovery (the paper reports
+        the two separately)."""
+        return max(0.0, self.time_seconds - self.sim_seconds)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary (no model values, only the model's size) —
+        the one serialization used by cli/fuzz/bench alike."""
+        return {
+            "status": self.status,
+            "model_size": len(self.model) if self.model else 0,
+            "time_seconds": self.time_seconds,
+            "sim_seconds": self.sim_seconds,
+            "solve_seconds": self.solve_seconds,
+            "phase_seconds": dict(self.phase_seconds),
+            "stats": self.stats.as_dict(),
+        }
 
     def __repr__(self) -> str:
         return ("SolverResult({}, {:.3f}s, decisions={}, conflicts={})"

@@ -178,3 +178,80 @@ class TestAtpgCli:
         out = capsys.readouterr().out
         assert "coverage" in out
         assert "# detects" in out
+
+
+class TestObservabilityCli:
+    def test_solve_json_output(self, bench_file, capsys):
+        import json
+        assert main(["solve", bench_file, "--json"]) == 10
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["status"] == "SAT"
+        assert doc["instance"].endswith("fa.bench")
+        assert doc["stats"]["decisions"] >= 0
+        # --json implies phase timers.
+        assert set(doc["phase_seconds"]) >= {"bcp", "other"}
+
+    def test_solve_cnf_json_output(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "f.cnf"
+        path.write_text(write_dimacs(CnfFormula(clauses=[[1], [-1]])))
+        assert main(["solve-cnf", str(path), "--json"]) == 20
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["status"] == "UNSAT"
+        assert doc["model_size"] == 0
+
+    def test_solve_reports_sim_seconds_separately(self, bench_file, capsys):
+        main(["solve", bench_file, "--preset", "explicit"])
+        out = capsys.readouterr().out
+        assert "simulation" in out
+        assert "solve" in out
+
+    def test_trace_round_trip(self, bench_file, tmp_path, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        assert main(["solve", bench_file, "--trace", trace]) == 10
+        err = capsys.readouterr().err
+        assert "wrote trace to" in err
+        assert main(["trace", trace]) == 0
+        out = capsys.readouterr().out
+        assert "events:" in out
+        assert "decisions=" in out
+
+    def test_trace_json_summary(self, bench_file, tmp_path, capsys):
+        import json
+        trace = str(tmp_path / "t.jsonl")
+        main(["solve", bench_file, "--trace", trace])
+        capsys.readouterr()
+        assert main(["trace", trace, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["stat_counts"]["decisions"] > 0
+
+    def test_trace_missing_file(self, capsys):
+        assert main(["trace", "/nonexistent/trace.jsonl"]) == 2
+        assert "trace" in capsys.readouterr().err
+
+    def test_trace_rejects_garbage(self, tmp_path, capsys):
+        path = tmp_path / "garbage.txt"
+        path.write_text("this is not a trace\n")
+        assert main(["trace", str(path)]) == 2
+
+    def test_progress_flag(self, bench_file, capsys):
+        # The full adder solves in under one progress interval; the flag
+        # must still parse and run clean.
+        assert main(["solve", bench_file, "--progress", "1"]) == 10
+
+    def test_bench_json_export(self, tmp_path, capsys):
+        import json
+        out_path = str(tmp_path / "table.json")
+        # A sub-second budget aborts most runs but exercises the whole
+        # table pipeline plus the JSON exporter; exit code may be 0 or 1
+        # depending on which shape checks survive the tiny budget.
+        rc = main(["bench", "table1", "--budget", "0.5",
+                   "--json", out_path])
+        assert rc in (0, 1)
+        doc = json.loads(open(out_path).read())
+        assert doc["kind"] == "bench_table"
+        assert doc["table_id"] == "table1"
+        assert doc["records"]
+        for records in doc["records"].values():
+            for cell in records:
+                assert "aborted" in cell and "seconds" in cell

@@ -139,21 +139,37 @@ class TestAssumptions:
         assert solver.solve().status == base
 
 
+def _pigeonhole(holes=7):
+    """A hard UNSAT pigeonhole formula (holes+1 pigeons)."""
+    def v(i, j):
+        return i * holes + j + 1
+    clauses = [[v(i, j) for j in range(holes)] for i in range(holes + 1)]
+    for j in range(holes):
+        for i1 in range(holes + 1):
+            for i2 in range(i1 + 1, holes + 1):
+                clauses.append([-v(i1, j), -v(i2, j)])
+    return CnfFormula(clauses=clauses)
+
+
 class TestLimits:
     def test_conflict_budget_returns_unknown(self):
         # A hard pigeonhole instance with a tiny budget.
-        def v(i, j, holes):
-            return i * holes + j + 1
-        holes = 7
-        clauses = [[v(i, j, holes) for j in range(holes)]
-                   for i in range(holes + 1)]
-        for j in range(holes):
-            for i1 in range(holes + 1):
-                for i2 in range(i1 + 1, holes + 1):
-                    clauses.append([-v(i1, j, holes), -v(i2, j, holes)])
-        f = CnfFormula(clauses=clauses)
-        r = CnfSolver(f).solve(limits=Limits(max_conflicts=50))
+        r = CnfSolver(_pigeonhole()).solve(limits=Limits(max_conflicts=50))
         assert r.status == UNKNOWN
+
+    def test_time_budget_returns_unknown_with_partial_stats(self):
+        r = CnfSolver(_pigeonhole(9)).solve(limits=Limits(max_seconds=0.2))
+        assert r.status == UNKNOWN
+        assert r.model is None
+        assert r.stats.decisions > 0
+        assert r.stats.conflicts > 0
+        assert r.time_seconds >= 0.2
+
+    def test_decision_budget_returns_unknown_with_partial_stats(self):
+        r = CnfSolver(_pigeonhole()).solve(limits=Limits(max_decisions=30))
+        assert r.status == UNKNOWN
+        assert r.model is None
+        assert 0 < r.stats.decisions <= 31
 
     def test_stats_are_per_call(self):
         rng = random.Random(11)

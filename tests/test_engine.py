@@ -217,6 +217,32 @@ class TestLimits:
                          limits=Limits(max_seconds=0.2))
         assert r.status == UNKNOWN
 
+    def test_time_limit_reports_partial_stats(self):
+        # An aborted run still carries the work done so far — the bench
+        # harness and the paper's ``*`` rows depend on these counters.
+        from repro.gen.iscas import equiv_miter
+        m = equiv_miter("c6288")
+        engine = make_engine(m)
+        r = engine.solve(assumptions=list(m.outputs),
+                         limits=Limits(max_seconds=0.3))
+        assert r.status == UNKNOWN
+        assert r.model is None
+        assert r.stats.decisions > 0
+        assert r.stats.propagations > 0
+        assert r.time_seconds >= 0.3
+
+    def test_decision_limit(self):
+        from repro.gen.iscas import equiv_miter
+        m = equiv_miter("c6288")
+        engine = make_engine(m)
+        r = engine.solve(assumptions=list(m.outputs),
+                         limits=Limits(max_decisions=40))
+        assert r.status == UNKNOWN
+        # The budget is checked every loop iteration, so the engine stops
+        # within one decision of the cap and the partial stats survive.
+        assert 0 < r.stats.decisions <= 41
+        assert r.model is None
+
     def test_stats_delta_per_call(self):
         c = build_random_circuit(6, num_inputs=5, num_gates=30)
         engine = make_engine(c)

@@ -83,6 +83,34 @@ class TestSolverResult:
         assert r.model is None
         assert r.sim_seconds == 0.0
         assert isinstance(r.stats, SolverStats)
+        assert r.phase_seconds == {}
+
+    def test_solve_seconds_excludes_simulation(self):
+        r = SolverResult(status=UNSAT, time_seconds=2.5, sim_seconds=0.5)
+        assert r.solve_seconds == 2.0
+        # Clamped at zero when rounding makes sim exceed the total.
+        r2 = SolverResult(status=UNSAT, time_seconds=0.1, sim_seconds=0.2)
+        assert r2.solve_seconds == 0.0
+
+    def test_as_dict_is_json_ready(self):
+        import json
+        r = SolverResult(status=SAT, model={1: True, 2: False},
+                         time_seconds=1.25, sim_seconds=0.25,
+                         stats=SolverStats(decisions=4, conflicts=1),
+                         phase_seconds={"bcp": 0.5, "other": 0.75})
+        d = r.as_dict()
+        assert d["status"] == SAT
+        assert d["model_size"] == 2
+        assert d["time_seconds"] == 1.25
+        assert d["sim_seconds"] == 0.25
+        assert d["solve_seconds"] == 1.0
+        assert d["phase_seconds"] == {"bcp": 0.5, "other": 0.75}
+        assert d["stats"]["decisions"] == 4
+        json.dumps(d)  # must serialize without a custom encoder
+
+    def test_as_dict_without_model(self):
+        d = SolverResult(status=UNSAT).as_dict()
+        assert d["model_size"] == 0
 
 
 class TestLimits:
