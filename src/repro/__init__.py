@@ -27,14 +27,19 @@ from .cnf import CnfFormula, CnfSolver, read_dimacs, solve_formula, write_dimacs
 from .core import (CircuitSolver, SweepResult, check_equivalence, sat_sweep,
                    solve_circuit)
 from .csat import CSatEngine, SolverOptions, preset
-from .errors import (CertificationError, CircuitError, ParseError,
-                     ReproError, ResourceLimitExceeded, SolverError)
+from .errors import (CertificationError, CircuitError,
+                     CircuitValidationError, FAILURE_KINDS, ParseError,
+                     ReproError, ResourceLimitExceeded, SolverError,
+                     WorkerFailure)
 from .obs import (JsonlTracer, PhaseTimers, ProgressPrinter,
                   ProgressSnapshot, TraceSummary, Tracer, summarize_trace)
 from .proof import ProofLog, check_drup
 from .result import Limits, SAT, SolverResult, SolverStats, UNKNOWN, UNSAT
 from .sim import (CorrelationSet, find_correlations, simulate_random,
                   simulate_words, truth_tables)
+from .runtime import (EngineSpec, FaultPlan, PortfolioReport, WorkerJob,
+                      WorkerOutcome, default_ladder, run_supervised,
+                      solve_portfolio)
 from .verify import (Certificate, OracleReport, certify_cnf_result,
                      certify_result, differential_check, run_fuzz,
                      shrink_circuit, shrink_clauses)
@@ -49,8 +54,11 @@ __all__ = [
     "CircuitSolver", "check_equivalence", "solve_circuit",
     "SweepResult", "sat_sweep",
     "CSatEngine", "SolverOptions", "preset",
-    "CertificationError", "CircuitError", "ParseError", "ReproError",
-    "ResourceLimitExceeded", "SolverError",
+    "CertificationError", "CircuitError", "CircuitValidationError",
+    "FAILURE_KINDS", "ParseError", "ReproError",
+    "ResourceLimitExceeded", "SolverError", "WorkerFailure",
+    "EngineSpec", "FaultPlan", "PortfolioReport", "WorkerJob",
+    "WorkerOutcome", "default_ladder", "run_supervised", "solve_portfolio",
     "JsonlTracer", "PhaseTimers", "ProgressPrinter", "ProgressSnapshot",
     "TraceSummary", "Tracer", "summarize_trace",
     "ProofLog", "check_drup",

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from ..errors import CircuitError
+from ..errors import CircuitError, CircuitValidationError
 from .netlist import Circuit
 
 
@@ -36,7 +36,7 @@ class ValidationReport:
 
     def raise_on_error(self) -> None:
         if self.errors:
-            raise CircuitError("; ".join(self.errors))
+            raise CircuitValidationError("; ".join(self.errors))
 
 
 def validate(circuit: Circuit) -> ValidationReport:

@@ -3,7 +3,11 @@
 Commands
 --------
 
-``solve``      solve a ``.bench`` circuit (objective: every output = 1)
+``solve``      solve a ``.bench`` circuit (objective: every output = 1);
+               ``--portfolio`` runs it fault-tolerantly in isolated worker
+               subprocesses with hard wall/memory limits
+``portfolio``  the full portfolio runner: race/sequence engine configs
+               with failover, retry and graceful degradation
 ``solve-cnf``  solve a DIMACS file with the CNF baseline or via the circuit
                solver (CNF-to-circuit conversion, as the paper does)
 ``equiv``      SAT equivalence check of two ``.bench`` circuits
@@ -22,6 +26,10 @@ Commands
 ``solve`` and ``solve-cnf`` accept the observability flags ``--trace FILE``
 (structured event tracing), ``--progress [N]`` (a progress line every N
 conflicts) and ``--json`` (machine-readable result on stdout).
+
+Exit codes: 10 = SAT, 20 = UNSAT, 0 = success/UNKNOWN, 1 = check failed,
+2 = bad input (malformed file, unknown name, invalid circuit),
+130 = interrupted (Ctrl-C).  Malformed input never produces a traceback.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ from .circuit.cnf_convert import cnf_to_circuit
 from .core.solver import CircuitSolver, check_equivalence
 from .core.sweep import sat_sweep
 from .csat.options import preset
+from .errors import CircuitError, ParseError, SolverError
 from .result import Limits
 
 _PRESETS = ("csat", "csat-jnode", "implicit", "explicit", "explicit-pair",
@@ -122,8 +131,81 @@ def _print_result(result, label: str = "result", as_json: bool = False) -> int:
         print("decisions={} conflicts={} propagations={} learned={}".format(
             stats.decisions, stats.conflicts, stats.propagations,
             stats.learned_clauses))
+        if result.interrupted:
+            print("interrupted: partial statistics only", file=sys.stderr)
+        for failure in result.failures:
+            print("worker failure: {} [{}] {}".format(
+                failure.get("engine", "?"), failure.get("kind", "?"),
+                failure.get("detail", "")), file=sys.stderr)
+    # SAT-competition-style exit codes (10/20), 130 for Ctrl-C.
+    return _status_code(result)
+
+
+def _add_runtime(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by ``solve --portfolio`` and the portfolio command."""
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="concurrent isolated workers; 1 walks the "
+                             "ladder sequentially (default 1)")
+    parser.add_argument("--mem-limit", type=int, default=None, metavar="MB",
+                        help="hard per-worker address-space cap in MB")
+    parser.add_argument("--grace", type=float, default=1.0, metavar="SEC",
+                        help="seconds between SIGTERM and SIGKILL when a "
+                             "worker overruns its budget (default 1.0)")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="reseeded retries per config after a crash/"
+                             "corrupt/lost failure (default 1)")
+    parser.add_argument("--certify", choices=("off", "sat", "full"),
+                        default="sat",
+                        help="boundary re-certification of worker answers "
+                             "(default: sat models only)")
+    parser.add_argument("--inject-faults", metavar="SPEC", default=None,
+                        help="deterministic fault injection for testing, "
+                             "e.g. 'crash@0,hang-hard@2' or 'hang@*' "
+                             "(kinds: crash segv hang hang-hard membomb "
+                             "corrupt wrong-answer lost)")
+
+
+def _run_portfolio(args, circuit, tracer=None) -> int:
+    """Shared implementation of ``solve --portfolio`` and ``portfolio``."""
+    from .runtime import FaultPlan, ladder_from_names, solve_portfolio
+    try:
+        faults = FaultPlan.parse(getattr(args, "inject_faults", None))
+    except ValueError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    ladder = None
+    if getattr(args, "ladder", None):
+        ladder = ladder_from_names(args.ladder.split(","))
+    report = solve_portfolio(
+        circuit, budget=args.budget, workers=args.workers,
+        mem_limit_mb=args.mem_limit, grace_seconds=args.grace,
+        ladder=ladder, max_retries=args.retries, certify=args.certify,
+        faults=faults, tracer=tracer)
+    if args.json:
+        import json
+        print(json.dumps(dict(report.as_dict(), instance=args.file),
+                         indent=2))
+        return _status_code(report.result)
+    print("portfolio: " + report.summary())
+    for attempt in report.attempts:
+        line = "  {:12s} try {}  {:14s} {:8.3f}s".format(
+            attempt.engine, attempt.attempt + 1, attempt.outcome,
+            attempt.seconds)
+        if attempt.detail:
+            line += "  " + attempt.detail
+        print(line)
+    if report.skipped:
+        reason = "winner found" if report.winner else "budget exhausted"
+        print("  not attempted ({}): {}".format(reason,
+                                                ", ".join(report.skipped)))
+    return _print_result(report.result, args.file)
+
+
+def _status_code(result) -> int:
+    if result.interrupted:
+        return 130
     if result.status == "SAT":
-        return 10  # SAT-competition-style exit codes
+        return 10
     if result.status == "UNSAT":
         return 20
     return 0
@@ -132,6 +214,11 @@ def _print_result(result, label: str = "result", as_json: bool = False) -> int:
 def cmd_solve(args) -> int:
     from .proof import ProofLog
     circuit = _read_circuit(args.file)
+    if args.portfolio:
+        tracer, _ = _observability(args)
+        code = _run_portfolio(args, circuit, tracer=tracer)
+        _finish_trace(tracer)
+        return code
     proof = ProofLog() if args.proof else None
     tracer, obs_kwargs = _observability(args)
     options = preset(args.preset, **obs_kwargs)
@@ -341,6 +428,15 @@ def cmd_oracle(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_portfolio(args) -> int:
+    circuit = _read_circuit(args.file)
+    from .obs import JsonlTracer
+    tracer = JsonlTracer(args.trace) if args.trace else None
+    code = _run_portfolio(args, circuit, tracer=tracer)
+    _finish_trace(tracer)
+    return code
+
+
 def cmd_bench(args) -> int:
     from .bench.tables import ALL_TABLES
     if args.table not in ALL_TABLES:
@@ -388,9 +484,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the input assignment on SAT")
     p.add_argument("--proof", metavar="FILE",
                    help="write a DRUP proof here on UNSAT")
+    p.add_argument("--portfolio", action="store_true",
+                   help="solve fault-tolerantly: isolated worker "
+                        "subprocesses, hard limits, engine failover")
     _add_common(p)
     _add_observability(p)
+    _add_runtime(p)
     p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("portfolio",
+                       help="fault-tolerant portfolio solve of a circuit")
+    p.add_argument("file")
+    p.add_argument("--budget", type=float, default=None,
+                   help="shared wall-clock budget in seconds; the run "
+                        "finishes within budget + grace even if every "
+                        "worker hangs")
+    p.add_argument("--ladder", metavar="NAMES", default=None,
+                   help="comma-separated configs to try, e.g. "
+                        "'explicit,cnf,brute' (default: auto ladder)")
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="write worker lifecycle events here (JSONL)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full report as JSON on stdout")
+    _add_runtime(p)
+    p.set_defaults(func=cmd_portfolio)
 
     p = sub.add_parser("solve-cnf", help="solve a DIMACS CNF file")
     p.add_argument("file")
@@ -499,6 +616,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         except OSError:
             pass
         return 0
+    except KeyboardInterrupt:
+        # Engines convert mid-solve Ctrl-C into UNKNOWN results themselves;
+        # this catches interrupts outside a solve (parsing, preprocessing).
+        print("interrupted", file=sys.stderr)
+        return 130
+    except (ParseError, CircuitError, SolverError, UnicodeDecodeError,
+            OSError) as exc:
+        # Bad user input (malformed .bench/AIGER/DIMACS, invalid circuit,
+        # missing file): one line on stderr, exit 2, never a traceback.
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

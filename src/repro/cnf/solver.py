@@ -476,7 +476,7 @@ class CnfSolver:
         """
         start = time.perf_counter()
         stats0 = self.stats.copy()
-        limits = limits or Limits()
+        limits = (limits or Limits()).validate()
         assume = [_ilit(a) for a in assumptions]
         self._cancel_until(0)
         tracer = self.tracer
@@ -486,7 +486,17 @@ class CnfSolver:
         if tracer is not None:
             tracer.emit("solve_start", assumptions=len(assume),
                         learned_db=len(self.learnt_idx))
-        status = self._search(assume, limits, start)
+        interrupted = False
+        if limits.exhausted_on_entry():
+            status = UNKNOWN  # zero/negative budget: already exhausted
+        else:
+            try:
+                status = self._search(assume, limits, start)
+            except KeyboardInterrupt:
+                # Convert Ctrl-C into a clean UNKNOWN carrying the partial
+                # stats; _cancel_until(0) below restores a consistent state.
+                status = UNKNOWN
+                interrupted = True
         model = None
         if status == SAT:
             model = {v: bool(self.values[v]) for v in range(1, self.num_vars + 1)
@@ -495,7 +505,8 @@ class CnfSolver:
         elapsed = time.perf_counter() - start
         result = SolverResult(status=status, model=model,
                               stats=self.stats.delta_since(stats0),
-                              time_seconds=elapsed)
+                              time_seconds=elapsed,
+                              interrupted=interrupted)
         if timers is not None:
             result.phase_seconds = complete_phases(
                 timers.delta_since(timer_snap), elapsed)

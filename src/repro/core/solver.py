@@ -21,7 +21,7 @@ from ..csat.implicit import attach_implicit_learning
 from ..csat.options import SolverOptions
 from ..errors import SolverError
 from ..obs import complete_phases
-from ..result import Limits, SAT, SolverResult, UNSAT
+from ..result import Limits, SAT, SolverResult, UNKNOWN, UNSAT
 from ..sim.correlation import CorrelationSet, find_correlations
 
 
@@ -120,17 +120,31 @@ class CircuitSolver:
             if not objectives:
                 raise SolverError("circuit has no outputs and no objectives "
                                   "were given")
-        sim_seconds = self.prepare(limits=limits)
-        remaining = limits
-        if limits is not None and limits.max_seconds is not None:
-            remaining = Limits(max_conflicts=limits.max_conflicts,
-                               max_decisions=limits.max_decisions,
-                               max_seconds=max(
-                                   0.001, limits.max_seconds
-                                   - (time.perf_counter() - start)))
-        result = self.engine.solve(assumptions=list(objectives),
-                                   limits=remaining,
-                                   proof_refutation=self.proof is not None)
+        if limits is not None:
+            limits.validate()
+            if limits.exhausted_on_entry():
+                # Zero/negative budget: skip the learning phases too, so
+                # both engines (and this orchestrator) behave identically.
+                return SolverResult(status=UNKNOWN,
+                                    time_seconds=time.perf_counter() - start)
+        sim_seconds = 0.0
+        try:
+            sim_seconds = self.prepare(limits=limits)
+            remaining = limits
+            if limits is not None and limits.max_seconds is not None:
+                remaining = Limits(max_conflicts=limits.max_conflicts,
+                                   max_decisions=limits.max_decisions,
+                                   max_seconds=max(
+                                       0.001, limits.max_seconds
+                                       - (time.perf_counter() - start)))
+            result = self.engine.solve(assumptions=list(objectives),
+                                       limits=remaining,
+                                       proof_refutation=self.proof is not None)
+        except KeyboardInterrupt:
+            # Ctrl-C during simulation/explicit learning: the engine never
+            # got to convert it, so do the equivalent here — an UNKNOWN
+            # result carrying whatever partial effort accumulated.
+            result = SolverResult(status=UNKNOWN, interrupted=True)
         result.stats = self.engine.stats.delta_since(stats0)
         result.time_seconds = time.perf_counter() - start
         result.sim_seconds = sim_seconds

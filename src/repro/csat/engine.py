@@ -726,7 +726,7 @@ class CSatEngine:
         """
         start = time.perf_counter()
         stats0 = self.stats.copy()
-        limits = limits or Limits()
+        limits = (limits or Limits()).validate()
         self._cancel_until(0)
         self.pending_correlated.clear()
         tracer = self.tracer
@@ -736,7 +736,18 @@ class CSatEngine:
         if tracer is not None:
             tracer.emit("solve_start", assumptions=len(assumptions),
                         learned_db=len(self.learnt_idx))
-        status = self._search(list(assumptions), limits, start, max_learned)
+        interrupted = False
+        if limits.exhausted_on_entry():
+            status = UNKNOWN  # zero/negative budget: already exhausted
+        else:
+            try:
+                status = self._search(list(assumptions), limits, start,
+                                      max_learned)
+            except KeyboardInterrupt:
+                # Convert Ctrl-C into a clean UNKNOWN carrying the partial
+                # stats; _cancel_until(0) below restores a consistent state.
+                status = UNKNOWN
+                interrupted = True
         if (status == UNSAT and proof_refutation and self.proof is not None
                 and not self.proof.complete):
             if assumptions:
@@ -751,7 +762,8 @@ class CSatEngine:
         elapsed = time.perf_counter() - start
         result = SolverResult(status=status, model=model,
                               stats=self.stats.delta_since(stats0),
-                              time_seconds=elapsed)
+                              time_seconds=elapsed,
+                              interrupted=interrupted)
         if timers is not None:
             result.phase_seconds = complete_phases(
                 timers.delta_since(timer_snap), elapsed)

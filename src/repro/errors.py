@@ -9,6 +9,11 @@ class CircuitError(ReproError):
     """Malformed circuit construction or access (bad literal, bad node, ...)."""
 
 
+class CircuitValidationError(CircuitError):
+    """A circuit failed deep validation (repro.circuit.validate) — the
+    netlist is structurally readable but violates a solver invariant."""
+
+
 class ParseError(ReproError):
     """Malformed input file (.bench netlist or DIMACS CNF)."""
 
@@ -30,3 +35,54 @@ class ResourceLimitExceeded(ReproError):
 class CertificationError(ReproError):
     """A solver answer failed independent certification (bad SAT model or
     rejected DRUP proof) — always a solver bug, never a user error."""
+
+
+# ----------------------------------------------------------------------
+# Worker-failure taxonomy (repro.runtime)
+# ----------------------------------------------------------------------
+
+#: The worker exceeded its wall-clock budget and was killed (SIGTERM, then
+#: SIGKILL after the grace period).
+TIMEOUT = "TIMEOUT"
+#: The worker exceeded its RSS/address-space cap (MemoryError under
+#: ``resource.setrlimit``, or the kernel OOM killer's SIGKILL).
+MEMOUT = "MEMOUT"
+#: The worker died abnormally: segfault, uncaught exception, or any exit
+#: by an unexpected signal.
+CRASHED = "CRASHED"
+#: The worker returned an answer that failed boundary re-certification
+#: (bad SAT model / rejected proof) — treated as a retryable failure, never
+#: surfaced as an answer.
+CORRUPT_ANSWER = "CORRUPT_ANSWER"
+#: The worker exited cleanly but never delivered a result.
+LOST = "LOST"
+
+#: Every failure kind a supervisor can report, in severity-neutral order.
+FAILURE_KINDS = (TIMEOUT, MEMOUT, CRASHED, CORRUPT_ANSWER, LOST)
+
+
+class WorkerFailure(ReproError):
+    """One isolated worker failed in a classified way.
+
+    Used both as an exception and as a value: the supervisor returns it
+    inside a :class:`~repro.runtime.supervisor.WorkerOutcome` so callers
+    can inspect ``kind``/``detail`` without a try/except, and raises it
+    only when asked to.
+    """
+
+    def __init__(self, kind: str, detail: str = "", engine: str = "",
+                 seconds: float = 0.0):
+        if kind not in FAILURE_KINDS:
+            raise ValueError("unknown failure kind {!r}".format(kind))
+        self.kind = kind
+        self.detail = detail
+        self.engine = engine
+        self.seconds = seconds
+        label = "{} [{}]".format(engine, kind) if engine else kind
+        super().__init__("{}: {}".format(label, detail) if detail else label)
+
+    def as_dict(self):
+        """JSON-ready provenance record (``SolverResult.failures`` entry)."""
+        return {"kind": self.kind, "detail": self.detail,
+                "engine": self.engine,
+                "seconds": round(self.seconds, 6)}

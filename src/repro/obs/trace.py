@@ -58,6 +58,10 @@ EVENT_KINDS = (
     "solve_start", "solve_end", "decision", "implication_batch", "conflict",
     "learn", "restart", "reduce_db", "correlation_hit", "subproblem",
     "phase", "progress",
+    # Worker lifecycle (repro.runtime): supervisor-side events — emitted by
+    # the parent process, never by the isolated workers themselves.
+    "worker_spawn", "worker_result", "worker_fail", "worker_kill",
+    "worker_retry", "portfolio_start", "portfolio_end", "degrade",
 )
 
 

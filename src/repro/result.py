@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, fields
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 SAT = "SAT"
 UNSAT = "UNSAT"
@@ -92,6 +93,16 @@ class SolverResult:
     #: (``SolverOptions.phase_timers`` or any attached tracer).  Empty dict
     #: otherwise.  See repro.obs.timers.
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Which engine configuration produced this answer (portfolio runs set
+    #: it to the winning config's name; single-engine runs may leave None).
+    engine: Optional[str] = None
+    #: True when the solve was cut short by KeyboardInterrupt — the status
+    #: is UNKNOWN and the stats are the partial effort up to the interrupt.
+    interrupted: bool = False
+    #: Failure provenance: one dict per isolated worker that failed on the
+    #: way to this result (``WorkerFailure.as_dict()`` records).  Empty for
+    #: in-process solves.
+    failures: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def is_sat(self) -> bool:
@@ -118,6 +129,9 @@ class SolverResult:
             "solve_seconds": self.solve_seconds,
             "phase_seconds": dict(self.phase_seconds),
             "stats": self.stats.as_dict(),
+            "engine": self.engine,
+            "interrupted": self.interrupted,
+            "failures": [dict(f) for f in self.failures],
         }
 
     def __repr__(self) -> str:
@@ -133,8 +147,53 @@ class Limits:
     ``None`` means unlimited.  When a budget is hit the solver returns a
     result with status :data:`UNKNOWN` (mirroring the paper's 7200-second
     aborts, marked ``*`` in its tables).
+
+    A budget of zero or less is *already exhausted*: every engine returns
+    :data:`UNKNOWN` immediately without searching (see
+    :meth:`exhausted_on_entry`), so ``Limits(max_seconds=0)`` behaves
+    identically everywhere instead of depending on each engine's check
+    cadence.
+
+    These limits are *cooperative* — checked inside the search loop, so a
+    pathological single step can overrun them.  For hard enforcement
+    (watchdog kill + memory cap) run the solve under
+    :mod:`repro.runtime`.
     """
 
     max_conflicts: Optional[int] = None
     max_decisions: Optional[int] = None
     max_seconds: Optional[float] = None
+
+    def validate(self) -> "Limits":
+        """Type/value-check the budgets; returns self for chaining.
+
+        Raises :class:`~repro.errors.SolverError` on non-numeric, boolean,
+        or NaN budgets.  Zero/negative budgets are *legal* (they mean
+        "already exhausted"); use :meth:`exhausted_on_entry` to test.
+        Called at every solve entry point (both engines, the circuit
+        orchestrator, the supervisor, and the CLI).
+        """
+        from .errors import SolverError
+        for name in ("max_conflicts", "max_decisions"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SolverError("{} must be an int or None, got {!r}"
+                                  .format(name, value))
+        seconds = self.max_seconds
+        if seconds is not None:
+            if isinstance(seconds, bool) \
+                    or not isinstance(seconds, (int, float)):
+                raise SolverError("max_seconds must be a number or None, "
+                                  "got {!r}".format(seconds))
+            if math.isnan(seconds):
+                raise SolverError("max_seconds must not be NaN")
+        return self
+
+    def exhausted_on_entry(self) -> bool:
+        """True when any budget is zero or negative — the solve must
+        return UNKNOWN immediately, before any search step."""
+        return any(value is not None and value <= 0
+                   for value in (self.max_conflicts, self.max_decisions,
+                                 self.max_seconds))

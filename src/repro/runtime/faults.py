@@ -1,0 +1,122 @@
+"""Seeded fault injection at the worker boundary.
+
+Every failure path the supervisor handles must be testable in CI without
+waiting for a real segfault or OOM, so the worker child can be told to
+misbehave deterministically.  A :class:`FaultPlan` decides, per worker
+*spawn index* (0, 1, 2, ... in spawn order across one supervisor or
+portfolio run), which fault — if any — that worker injects.
+
+Fault kinds
+-----------
+
+``crash``
+    Raise an uncaught exception inside the worker (surfaces as CRASHED).
+``segv``
+    Kill the worker with SIGSEGV — a genuine abnormal death, exercising
+    the exit-by-signal classification (CRASHED).
+``hang``
+    Loop forever, ignoring cooperative limits but honouring SIGTERM — the
+    watchdog's polite kill suffices (TIMEOUT).
+``hang-hard``
+    Ignore SIGTERM and loop forever — forces the SIGKILL escalation after
+    the grace period (TIMEOUT).
+``membomb``
+    Allocate until the worker's address-space cap trips MemoryError
+    (MEMOUT).  Without a memory cap the bomb is simulated (MemoryError is
+    raised directly) so an unbounded worker can never eat the host's RAM.
+``corrupt``
+    Solve normally, then corrupt the answer payload (flip the model's
+    values, or claim SAT without a model) — boundary re-certification must
+    catch it (CORRUPT_ANSWER).
+``wrong-answer``
+    Solve normally, then flip SAT<->UNSAT — the strongest corruption;
+    caught by full certification (CORRUPT_ANSWER).
+``lost``
+    Exit cleanly without sending a result (LOST).
+
+Plans are written as comma-separated ``kind@index`` terms, with ``*`` as
+the index wildcard (every worker), e.g. ``"crash@0,hang-hard@2"`` or
+``"hang-hard@*"``.  A probabilistic term ``kind@p0.25`` injects with
+probability 0.25, derived deterministically from ``(seed, index)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Faults injected *before* the solve (the worker never answers).
+PRE_FAULTS = ("crash", "segv", "hang", "hang-hard", "membomb")
+#: Faults injected *after* the solve (the answer is tampered with).
+POST_FAULTS = ("corrupt", "wrong-answer", "lost")
+
+FAULT_KINDS = PRE_FAULTS + POST_FAULTS
+
+
+@dataclass
+class FaultPlan:
+    """Deterministic per-worker fault schedule (see module docstring)."""
+
+    #: spawn index -> fault kind; index -1 means "every worker".
+    schedule: Dict[int, str] = field(default_factory=dict)
+    #: (kind, probability) terms evaluated per index when the schedule
+    #: has no entry.
+    random_terms: List[Tuple[str, float]] = field(default_factory=list)
+    seed: int = 0
+
+    @classmethod
+    def parse(cls, spec: Optional[str], seed: int = 0) -> "FaultPlan":
+        """Parse ``"kind@index,kind@*,kind@p0.25"`` into a plan.
+
+        ``None`` or an empty string yields a plan that injects nothing.
+        Raises ValueError on unknown kinds or malformed terms.
+        """
+        plan = cls(seed=seed)
+        if not spec:
+            return plan
+        for term in spec.split(","):
+            term = term.strip()
+            if not term:
+                continue
+            if "@" not in term:
+                raise ValueError(
+                    "fault term {!r} must look like kind@index, kind@* "
+                    "or kind@pPROB".format(term))
+            kind, _, where = term.partition("@")
+            kind = kind.strip()
+            if kind not in FAULT_KINDS:
+                raise ValueError("unknown fault kind {!r}; known: {}".format(
+                    kind, ", ".join(FAULT_KINDS)))
+            where = where.strip()
+            if where == "*":
+                plan.schedule[-1] = kind
+            elif where.startswith("p"):
+                plan.random_terms.append((kind, float(where[1:])))
+            else:
+                plan.schedule[int(where)] = kind
+        return plan
+
+    def fault_for(self, index: int) -> Optional[str]:
+        """The fault the worker with this spawn index must inject, if any.
+
+        Deterministic in ``(self, index)`` — the same plan always injects
+        the same faults, so supervisor tests are reproducible.
+        """
+        if index in self.schedule:
+            return self.schedule[index]
+        if -1 in self.schedule:
+            return self.schedule[-1]
+        for kind, probability in self.random_terms:
+            rng = random.Random("{}:{}:{}".format(self.seed, index, kind))
+            if rng.random() < probability:
+                return kind
+        return None
+
+    @property
+    def empty(self) -> bool:
+        return not self.schedule and not self.random_terms
+
+
+#: A plan that injects nothing — the default everywhere.
+NO_FAULTS = FaultPlan()

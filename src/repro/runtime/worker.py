@@ -1,0 +1,237 @@
+"""Worker-side code: what runs inside one isolated solve subprocess.
+
+The supervisor (:mod:`repro.runtime.supervisor`) spawns a process whose
+target is :func:`run_worker`.  The child applies its memory cap, injects
+any scheduled fault, runs the solve described by its :class:`WorkerJob`,
+and sends exactly one message back over the pipe:
+
+``("result", payload)``
+    ``payload`` is a plain dict (status, model, stats, timings, optional
+    DRUP proof steps) — primitives only, so it pickles cheaply and the
+    parent can rebuild a :class:`~repro.result.SolverResult` without
+    trusting any worker-side object.
+``("failure", {"kind": ..., "detail": ...})``
+    A failure the child could classify itself (MemoryError -> MEMOUT,
+    uncaught exception -> CRASHED).  Deaths the child cannot report
+    (segfault, SIGKILL, hang) are classified by the parent from the exit
+    status instead.
+
+Everything here must stay importable at module top level so the
+``spawn`` start method can find :func:`run_worker` by qualified name.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..circuit.netlist import Circuit
+from ..errors import CRASHED, MEMOUT
+from ..result import Limits, SAT, SolverResult, UNSAT
+from .faults import POST_FAULTS, PRE_FAULTS
+
+#: Engine kinds a worker can run.
+KIND_CSAT = "csat"
+KIND_CNF = "cnf"
+KIND_BRUTE = "brute"
+KIND_BDD = "bdd"
+WORKER_KINDS = (KIND_CSAT, KIND_CNF, KIND_BRUTE, KIND_BDD)
+
+
+@dataclass
+class WorkerJob:
+    """Everything one worker needs, picklable under fork and spawn alike.
+
+    ``options`` (a :class:`~repro.csat.options.SolverOptions`) takes
+    precedence over ``preset_name``; observability callables must not be
+    attached to it (they cannot cross the process boundary).
+    """
+
+    circuit: Circuit
+    name: str = "explicit"            # display name for events/provenance
+    kind: str = KIND_CSAT
+    preset_name: str = "explicit"
+    options: Optional[Any] = None     # SolverOptions, or None for preset
+    overrides: Dict[str, Any] = field(default_factory=dict)
+    objectives: Optional[List[int]] = None
+    limits: Optional[Limits] = None   # cooperative (soft) budget
+    mem_limit_mb: Optional[int] = None
+    collect_proof: bool = False
+    bdd_node_limit: int = 200_000
+    fault: Optional[str] = None       # injected fault kind, if scheduled
+
+
+def _apply_mem_limit(mem_limit_mb: Optional[int]) -> None:
+    """Cap the worker's address space via ``resource.setrlimit``.
+
+    An allocation past the cap raises MemoryError, which the worker
+    reports as MEMOUT; catastrophic overshoot is caught by the kernel
+    (SIGKILL, classified MEMOUT by the parent).  Best-effort on platforms
+    without RLIMIT_AS.
+    """
+    if mem_limit_mb is None:
+        return
+    try:
+        import resource
+        limit = int(mem_limit_mb) << 20
+        resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+    except (ImportError, ValueError, OSError):
+        pass
+
+
+def _apply_pre_fault(kind: Optional[str],
+                     mem_limit_mb: Optional[int]) -> None:
+    """Injected misbehaviour *before* the solve (see repro.runtime.faults)."""
+    if kind is None or kind not in PRE_FAULTS:
+        return
+    if kind == "crash":
+        raise RuntimeError("injected fault: crash")
+    if kind == "segv":
+        os.kill(os.getpid(), signal.SIGSEGV)
+    if kind == "hang":
+        while True:
+            time.sleep(0.05)
+    if kind == "hang-hard":
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        while True:
+            time.sleep(0.05)
+    if kind == "membomb":
+        if mem_limit_mb is None:
+            # No cap to run into: simulate, never eat the host's RAM.
+            raise MemoryError("injected fault: membomb (simulated)")
+        hog = []
+        while True:
+            hog.append(bytearray(1 << 24))
+
+
+def _apply_post_fault(kind: Optional[str], job: WorkerJob,
+                      payload: Optional[dict]) -> Optional[dict]:
+    """Injected answer tampering *after* the solve; None drops the answer."""
+    if kind is None or kind not in POST_FAULTS or payload is None:
+        return payload
+    if kind == "lost":
+        return None
+    if kind == "wrong-answer":
+        payload["status"] = UNSAT if payload["status"] == SAT else SAT
+        payload["model"] = None
+        payload["proof"] = None
+    elif kind == "corrupt":
+        model = payload.get("model")
+        if payload["status"] == SAT and model:
+            # Flip every non-input value: simulation from the (unchanged)
+            # inputs can no longer match the assigned gate values.
+            inputs = set(job.circuit.inputs)
+            corrupted = {node: (value if node in inputs else not value)
+                         for node, value in model.items()}
+            if corrupted == model:  # no gates assigned: break it harder
+                corrupted = {node: not value for node, value in model.items()}
+            payload["model"] = corrupted
+        else:
+            payload["status"] = SAT
+            payload["model"] = None
+    return payload
+
+
+def _solve_job(job: WorkerJob) -> dict:
+    """Run the solve a job describes; returns the result payload dict."""
+    circuit = job.circuit
+    objectives = (list(job.objectives) if job.objectives is not None
+                  else list(circuit.outputs))
+    proof = None
+    if job.kind == KIND_CSAT:
+        from ..core.solver import CircuitSolver
+        from ..csat.options import preset
+        if job.options is not None:
+            options = (job.options.replace(**job.overrides)
+                       if job.overrides else job.options)
+        else:
+            options = preset(job.preset_name, **job.overrides)
+        if job.collect_proof:
+            from ..proof import ProofLog
+            proof = ProofLog()
+        solver = CircuitSolver(circuit, options, proof=proof)
+        result = solver.solve(objectives=objectives, limits=job.limits)
+    elif job.kind == KIND_CNF:
+        from ..circuit.cnf_convert import tseitin
+        from ..cnf.solver import CnfSolver
+        formula, _ = tseitin(circuit, objectives=objectives)
+        if job.collect_proof:
+            from ..proof import ProofLog
+            proof = ProofLog()
+        result = CnfSolver(formula, proof=proof).solve(limits=job.limits)
+        if result.status == SAT:
+            # CNF var = node + 1; map back so the parent's circuit-level
+            # certifier can replay the model.
+            result.model = {var - 1: value
+                            for var, value in result.model.items()}
+    elif job.kind == KIND_BRUTE:
+        from ..verify.oracle import _brute_force
+        result = _brute_force(circuit, objectives)
+    elif job.kind == KIND_BDD:
+        from ..verify.oracle import _bdd_check
+        result = _bdd_check(circuit, objectives, job.bdd_node_limit)
+    else:
+        raise ValueError("unknown worker kind {!r}".format(job.kind))
+
+    proof_steps = None
+    if proof is not None and result.status == UNSAT:
+        proof_steps = list(proof.steps)
+    return {
+        "engine": job.name,
+        "status": result.status,
+        "model": result.model,
+        "stats": result.stats.as_dict(),
+        "time_seconds": result.time_seconds,
+        "sim_seconds": result.sim_seconds,
+        "interrupted": result.interrupted,
+        "proof": proof_steps,
+        "objectives": objectives,
+    }
+
+
+def _safe_send(conn, message: Tuple[str, Optional[dict]]) -> None:
+    try:
+        conn.send(message)
+    except (OSError, ValueError, MemoryError):
+        pass  # parent gone or allocation failed: parent classifies as LOST
+
+
+def run_worker(conn, job: WorkerJob) -> None:
+    """Child-process entry point: solve, classify own failures, report."""
+    try:
+        _apply_mem_limit(job.mem_limit_mb)
+        _apply_pre_fault(job.fault, job.mem_limit_mb)
+        payload = _solve_job(job)
+        payload = _apply_post_fault(job.fault, job, payload)
+        if payload is not None:
+            _safe_send(conn, ("result", payload))
+    except MemoryError:
+        _safe_send(conn, ("failure", {
+            "kind": MEMOUT,
+            "detail": "memory cap of {} MB exceeded".format(
+                job.mem_limit_mb)}))
+    except BaseException as exc:  # noqa: BLE001 — crash containment is the job
+        _safe_send(conn, ("failure", {
+            "kind": CRASHED,
+            "detail": "{}: {}".format(type(exc).__name__, exc)}))
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def payload_to_result(payload: dict) -> SolverResult:
+    """Rebuild a :class:`SolverResult` from a worker's payload dict."""
+    from ..result import SolverStats
+    return SolverResult(
+        status=payload["status"],
+        model=payload.get("model"),
+        stats=SolverStats(**payload.get("stats", {})),
+        time_seconds=payload.get("time_seconds", 0.0),
+        sim_seconds=payload.get("sim_seconds", 0.0),
+        interrupted=payload.get("interrupted", False),
+        engine=payload.get("engine"))
