@@ -27,6 +27,8 @@ from .cnf import CnfFormula, CnfSolver, read_dimacs, solve_formula, write_dimacs
 from .core import (CircuitSolver, SweepResult, check_equivalence, sat_sweep,
                    solve_circuit)
 from .csat import CSatEngine, SolverOptions, preset
+from .cube import (Cube, CubeOutcome, CubeReport, CubeSet, CutterOptions,
+                   generate_cubes, solve_cubes)
 from .errors import (CertificationError, CircuitError,
                      CircuitValidationError, FAILURE_KINDS, ParseError,
                      ReproError, ResourceLimitExceeded, SolverError,
@@ -54,6 +56,8 @@ __all__ = [
     "CircuitSolver", "check_equivalence", "solve_circuit",
     "SweepResult", "sat_sweep",
     "CSatEngine", "SolverOptions", "preset",
+    "Cube", "CubeOutcome", "CubeReport", "CubeSet", "CutterOptions",
+    "generate_cubes", "solve_cubes",
     "CertificationError", "CircuitError", "CircuitValidationError",
     "FAILURE_KINDS", "ParseError", "ReproError",
     "ResourceLimitExceeded", "SolverError", "WorkerFailure",

@@ -17,7 +17,9 @@ measurement runs in an isolated subprocess under the
 :mod:`repro.runtime` supervisor's *hard* limits, so one hung or crashing
 run is killed at its budget and recorded as aborted instead of stalling
 the whole table.  ``REPRO_BENCH_MEMLIMIT`` (MB) adds a per-run memory
-cap in that mode.
+cap in that mode.  ``REPRO_BENCH_CUBES=N`` (N > 0) routes every
+circuit-solver measurement through cube-and-conquer (:mod:`repro.cube`)
+with N workers — the cheap way to re-run a whole table in cube mode.
 """
 
 from __future__ import annotations
@@ -54,6 +56,40 @@ def _mem_limit_mb() -> Optional[int]:
     except ValueError:
         return None
     return value or None
+
+
+def default_cube_workers() -> int:
+    """``REPRO_BENCH_CUBES``: when > 0, circuit-solver measurements run
+    through cube-and-conquer (:mod:`repro.cube`) with that many workers
+    instead of one flat solve.  0 (the default) keeps the flat path."""
+    try:
+        value = int(os.environ.get("REPRO_BENCH_CUBES", "0"))
+    except ValueError:
+        return 0
+    return max(0, value)
+
+
+def run_cube(circuit: Circuit,
+             workers: int,
+             budget: Optional[float] = None,
+             instance: str = "?",
+             config_name: Optional[str] = None,
+             preset_name: str = "implicit") -> RunRecord:
+    """One cube-and-conquer measurement as a table cell.
+
+    Worker processes already are hard-limit isolated, so there is no
+    extra ``isolate`` layer; a failed/degraded run records as aborted
+    (status UNKNOWN) like any other cell.
+    """
+    from ..cube import solve_cubes
+    budget = default_budget() if budget is None else budget
+    name = config_name or "cube-{}w".format(workers)
+    t0 = time.perf_counter()
+    report = solve_cubes(circuit, workers=workers, budget=budget,
+                         preset_name=preset_name,
+                         mem_limit_mb=_mem_limit_mb())
+    return _record(instance, name, report.result,
+                   time.perf_counter() - t0)
 
 
 def _run_isolated(circuit: Circuit, kind: str, config_name: str,
@@ -158,6 +194,12 @@ def run_csat(circuit: Circuit,
     """
     budget = default_budget() if budget is None else budget
     name = config_name or (config if isinstance(config, str) else "custom")
+    cube_workers = default_cube_workers()
+    if cube_workers:
+        return run_cube(circuit, cube_workers, budget=budget,
+                        instance=instance, config_name=name,
+                        preset_name=(config if isinstance(config, str)
+                                     else "implicit"))
     if isolate if isolate is not None else default_isolate():
         options = None if isinstance(config, str) else config
         preset_name = config if isinstance(config, str) else "explicit"

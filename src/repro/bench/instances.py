@@ -12,8 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from ..circuit.miter import miter
 from ..circuit.netlist import Circuit
 from ..errors import ReproError
+from ..gen.arith import array_multiplier, csa_multiplier
 from ..gen.iscas import equiv_miter, opt_miter
 from ..gen.scan import scan_equiv_miter
 from ..gen.velev import vliw_like
@@ -56,6 +58,13 @@ def _scan(name: str) -> Instance:
                     lambda name=name: scan_equiv_miter(name))
 
 
+def _mult(width: int) -> Instance:
+    return Instance(
+        "mult{}.arith".format(width), "arith", UNSAT,
+        lambda width=width: miter(array_multiplier(width),
+                                  csa_multiplier(width)))
+
+
 # The paper's instance groups, table by table. ------------------------
 
 #: Table I / III / V rows (without the C6288 special case).
@@ -83,6 +92,13 @@ VLIW_EXTRA_INSTANCES: List[Instance] = [
     _vliw(9), _vliw(17), _vliw(1), _vliw(24), _vliw(21), _vliw(15), _vliw(19),
 ]
 
+#: Multiplier equivalence miters (array vs carry-save implementation):
+#: the repo's genuinely hard UNSAT family, used by the cube-and-conquer
+#: benchmark (every paper-table instance solves in milliseconds here).
+ARITH_INSTANCES: List[Instance] = [
+    _mult(5), _mult(6), _mult(7),
+]
+
 #: Table X additional unsatisfiable rows.
 ADDITIONAL_UNSAT_INSTANCES: List[Instance] = [
     _equiv("c2670"), _opt("c1908"),
@@ -96,7 +112,7 @@ def all_instances() -> List[Instance]:
     seen: Dict[str, Instance] = {}
     for group in (EQUIV_INSTANCES, [C6288_EQUIV], OPT_INSTANCES,
                   VLIW_INSTANCES, VLIW_EXTRA_INSTANCES,
-                  ADDITIONAL_UNSAT_INSTANCES):
+                  ADDITIONAL_UNSAT_INSTANCES, ARITH_INSTANCES):
         for inst in group:
             seen.setdefault(inst.name, inst)
     return list(seen.values())

@@ -8,6 +8,9 @@ Commands
                subprocesses with hard wall/memory limits
 ``portfolio``  the full portfolio runner: race/sequence engine configs
                with failover, retry and graceful degradation
+``cube``       cube-and-conquer: split the search space with a lookahead
+               cutter, conquer the cubes in parallel on isolated workers
+               (``solve --cubes N`` is the shortcut form)
 ``solve-cnf``  solve a DIMACS file with the CNF baseline or via the circuit
                solver (CNF-to-circuit conversion, as the paper does)
 ``equiv``      SAT equivalence check of two ``.bench`` circuits
@@ -201,6 +204,47 @@ def _run_portfolio(args, circuit, tracer=None) -> int:
     return _print_result(report.result, args.file)
 
 
+def _run_cubes(args, circuit, label: str, workers: int, tracer=None) -> int:
+    """Shared implementation of ``cube`` and ``solve --cubes N``."""
+    from .cube import CutterOptions, solve_cubes
+    from .runtime import FaultPlan
+    try:
+        faults = FaultPlan.parse(getattr(args, "inject_faults", None))
+    except ValueError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    cutter = CutterOptions(
+        max_cubes=getattr(args, "max_cubes", None),
+        cubes_per_worker=getattr(args, "cubes_per_worker", 8),
+        max_depth=getattr(args, "max_depth", 12))
+    try:
+        report = solve_cubes(
+            circuit, workers=workers, cutter=cutter,
+            kind=getattr(args, "engine", "csat"), preset_name=args.preset,
+            budget=args.budget, mem_limit_mb=args.mem_limit,
+            grace_seconds=args.grace, max_retries=args.retries,
+            certify=args.certify, faults=faults, trace=tracer)
+    except ValueError as exc:
+        # e.g. --certify full, which cube mode structurally cannot honour
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+        print(json.dumps(dict(report.as_dict(), instance=label), indent=2))
+        return _status_code(report.result)
+    print("cube: " + report.summary())
+    for outcome in report.cubes:
+        line = "  cube {:3d}  {:14s} {:8.3f}s  {} literals".format(
+            outcome.index, outcome.status, outcome.seconds,
+            len(outcome.literals))
+        if outcome.pruned_by is not None:
+            line += "  (core of cube {})".format(outcome.pruned_by)
+        elif outcome.attempts > 1:
+            line += "  ({} attempts)".format(outcome.attempts)
+        print(line)
+    return _print_result(report.result, label)
+
+
 def _status_code(result) -> int:
     if result.interrupted:
         return 130
@@ -217,6 +261,12 @@ def cmd_solve(args) -> int:
     if args.portfolio:
         tracer, _ = _observability(args)
         code = _run_portfolio(args, circuit, tracer=tracer)
+        _finish_trace(tracer)
+        return code
+    if args.cubes:
+        tracer, _ = _observability(args)
+        code = _run_cubes(args, circuit, args.file, workers=args.cubes,
+                          tracer=tracer)
         _finish_trace(tracer)
         return code
     proof = ProofLog() if args.proof else None
@@ -437,6 +487,65 @@ def cmd_portfolio(args) -> int:
     return code
 
 
+def cmd_cube(args) -> int:
+    if bool(args.file) == bool(args.instance):
+        print("error: give a circuit file OR --instance NAME",
+              file=sys.stderr)
+        return 2
+    if args.instance:
+        from .bench.instances import instance_by_name
+        circuit = instance_by_name(args.instance).build()
+        label = args.instance
+    else:
+        circuit = _read_circuit(args.file)
+        label = args.file
+
+    if args.compare_workers:
+        from .cube.bench import cube_bench_document
+        try:
+            workers_list = [int(w) for w in args.compare_workers.split(",")]
+        except ValueError:
+            print("error: --compare-workers wants e.g. '1,4'",
+                  file=sys.stderr)
+            return 2
+        if not args.instance:
+            print("error: --compare-workers needs --instance "
+                  "(the sweep reports against its expected answer)",
+                  file=sys.stderr)
+            return 2
+        from .cube import CutterOptions
+        cutter = CutterOptions(max_cubes=args.max_cubes,
+                               cubes_per_worker=args.cubes_per_worker,
+                               max_depth=args.max_depth)
+        document = cube_bench_document(
+            args.instance, workers_list, cutter=cutter, budget=args.budget,
+            preset_name=args.preset, mem_limit_mb=args.mem_limit,
+            grace_seconds=args.grace, max_retries=args.retries,
+            certify=args.certify)
+        if args.json:
+            import json
+            print(json.dumps(document, indent=2))
+        else:
+            for point in document["points"]:
+                print("workers={:2d}  {:8s} {:8.3f}s  {} cubes, "
+                      "{} lemmas shared, {} pruned".format(
+                          point["workers"], point["status"],
+                          point["seconds"], point["cubes"],
+                          point["lemmas_shared"], point["pruned"]))
+            print("speedup ({}w vs {}w): {}".format(
+                workers_list[0], workers_list[-1],
+                document["speedup"] if document["speedup"] is not None
+                else "n/a"))
+        return 0 if document["speedup"] is not None else 1
+
+    from .obs import JsonlTracer
+    tracer = JsonlTracer(args.trace) if args.trace else None
+    code = _run_cubes(args, circuit, label, workers=args.workers,
+                      tracer=tracer)
+    _finish_trace(tracer)
+    return code
+
+
 def cmd_bench(args) -> int:
     from .bench.tables import ALL_TABLES
     if args.table not in ALL_TABLES:
@@ -487,6 +596,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--portfolio", action="store_true",
                    help="solve fault-tolerantly: isolated worker "
                         "subprocesses, hard limits, engine failover")
+    p.add_argument("--cubes", type=int, default=0, metavar="N",
+                   help="cube-and-conquer across N isolated workers "
+                        "(see the `cube` command for full control)")
     _add_common(p)
     _add_observability(p)
     _add_runtime(p)
@@ -508,6 +620,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the full report as JSON on stdout")
     _add_runtime(p)
     p.set_defaults(func=cmd_portfolio)
+
+    p = sub.add_parser("cube",
+                       help="cube-and-conquer: split the search space "
+                            "with a lookahead cutter, conquer the cubes "
+                            "on isolated workers")
+    p.add_argument("file", nargs="?", default=None,
+                   help=".bench/.aag circuit (or use --instance)")
+    p.add_argument("--instance", metavar="NAME", default=None,
+                   help="built-in benchmark instance, e.g. mult6.arith")
+    p.add_argument("--engine", choices=("csat", "cnf"), default="csat",
+                   help="per-cube engine (default: csat)")
+    p.add_argument("--max-cubes", type=int, default=None, metavar="N",
+                   help="hard cap on open cubes (default: scale with "
+                        "workers)")
+    p.add_argument("--cubes-per-worker", type=int, default=8, metavar="N",
+                   help="cubes generated per worker when --max-cubes is "
+                        "unset (default 8)")
+    p.add_argument("--max-depth", type=int, default=12, metavar="D",
+                   help="cube tree depth cutoff (default 12)")
+    p.add_argument("--compare-workers", metavar="LIST", default=None,
+                   help="run the same instance at several worker counts "
+                        "and report the speedup, e.g. '1,4' "
+                        "(requires --instance)")
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="write cube/worker lifecycle events here (JSONL)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full cube report as JSON on stdout")
+    _add_common(p)
+    _add_runtime(p)
+    # Cube workers default to the implicit preset (correlations are seeded
+    # by the driver; per-worker explicit learning does not amortize) and to
+    # a 4-way split.
+    p.set_defaults(func=cmd_cube, preset="implicit", workers=4)
 
     p = sub.add_parser("solve-cnf", help="solve a DIMACS CNF file")
     p.add_argument("file")

@@ -136,6 +136,7 @@ class CnfSolver:
         self.ok = True  # False once root-level UNSAT is established
         self._seen: List[bool] = [False] * (n + 1)
         self._saved_phase: List[int] = [0] * (n + 1)
+        self._core: Optional[List[int]] = None  # failed-assumption core
         self._luby_index = 0
         self.max_learnts = max(1000.0,
                                learnt_limit_factor * len(formula.clauses))
@@ -487,6 +488,7 @@ class CnfSolver:
             tracer.emit("solve_start", assumptions=len(assume),
                         learned_db=len(self.learnt_idx))
         interrupted = False
+        self._core = None  # set by _search on UNSAT exits
         if limits.exhausted_on_entry():
             status = UNKNOWN  # zero/negative budget: already exhausted
         else:
@@ -503,10 +505,13 @@ class CnfSolver:
                      if self.values[v] != _UNASSIGNED}
         self._cancel_until(0)
         elapsed = time.perf_counter() - start
+        core = None
+        if status == UNSAT and self._core is not None:
+            core = [_dimacs(l) for l in self._core]
         result = SolverResult(status=status, model=model,
                               stats=self.stats.delta_since(stats0),
                               time_seconds=elapsed,
-                              interrupted=interrupted)
+                              interrupted=interrupted, core=core)
         if timers is not None:
             result.phase_seconds = complete_phases(
                 timers.delta_since(timer_snap), elapsed)
@@ -538,8 +543,40 @@ class CnfSolver:
             require(certify_cnf_unsat(self.formula, self.proof),
                     context=self.formula.name)
 
+    def _analyze_final(self, seed: List[int], assume: List[int],
+                       must_include: Optional[int] = None) -> List[int]:
+        """Failed-assumption core (MiniSat's analyzeFinal).
+
+        Walks reason clauses from the ``seed`` literals back to the
+        decisions they depend on.  When the conflict sits at a level
+        ``<= len(assume)`` every decision above level 0 is an assumption,
+        so the reachable ones are a subset of ``assume`` sufficient for
+        UNSAT.  ``must_include`` forces one literal into the core (an
+        assumption found already-false, whose variable was implied).
+        Returns internal literals; solve() converts to DIMACS.
+        """
+        seen = set()
+        core_vars = set()
+        stack = [l >> 1 for l in seed]
+        while stack:
+            var = stack.pop()
+            if var in seen:
+                continue
+            seen.add(var)
+            if self.level[var] <= 0:
+                continue
+            ci = self.reason[var]
+            if ci == _NO_REASON:
+                core_vars.add(var)
+            else:
+                stack.extend(l >> 1 for l in self.clauses[ci]
+                             if (l >> 1) != var)
+        return [a for a in assume
+                if (a >> 1) in core_vars or a == must_include]
+
     def _search(self, assume: List[int], limits: Limits, start: float) -> str:
         if not self.ok:
+            self._core = []
             return UNSAT
         tracer = self.tracer
         timers = self.timers
@@ -576,9 +613,12 @@ class CnfSolver:
                     self.ok = False
                     if self.proof is not None:
                         self.proof.add([])
+                    self._core = []
                     return UNSAT
                 if self.decision_level <= len(assume):
                     # Conflict depends only on assumptions: UNSAT under them.
+                    self._core = self._analyze_final(self.clauses[confl],
+                                                     assume)
                     return UNSAT
                 level_before = self.decision_level if progress_every else 0
                 if timers is None:
@@ -593,6 +633,7 @@ class CnfSolver:
                     self._bj_sum += level_before - bt_level
                     self._bj_count += 1
                 if not self.ok:
+                    self._core = []  # root-level refutation: no assumptions
                     return UNSAT
                 self._decay_activities()
                 if progress_every \
@@ -648,7 +689,10 @@ class CnfSolver:
                 if val == 1:
                     self._new_decision_level()  # already true: dummy level
                 elif val == 0:
-                    return UNSAT  # assumption conflicts with forced value
+                    # Assumption conflicts with a forced value.
+                    self._core = self._analyze_final([a], assume,
+                                                     must_include=a)
+                    return UNSAT
                 else:
                     next_lit = a
                     break

@@ -189,6 +189,7 @@ class CSatEngine:
                        if options.phase_timers or self.tracer is not None
                        else None)
         self._last_progress = (0.0, 0)  # (perf_counter, conflicts)
+        self._core: Optional[List[int]] = None  # failed-assumption core
         #: Wall seconds spent inside solve() calls, cumulative; the gap
         #: against a wrapper's own wall clock is its orchestration time.
         self.solve_seconds_total = 0.0
@@ -464,6 +465,38 @@ class CSatEngine:
             return [2 * g + values[g]]
         return [2 * g + values[g], 2 * o + values[o]]
 
+    def _analyze_final(self, seed: List[int], assume: List[int],
+                       must_include: Optional[int] = None) -> List[int]:
+        """Failed-assumption core (MiniSat's analyzeFinal over gate reasons).
+
+        Walks antecedents from the ``seed`` conflict literals back to the
+        decisions they depend on.  Assumptions occupy decision levels
+        1..len(assume) and are the only decisions there, so every reachable
+        decision above level 0 is an assumption; the set of those reached is
+        a subset of ``assume`` sufficient for the refutation.
+        ``must_include`` forces one literal into the core (the assumption
+        found already-false, whose own node was *implied*, not decided).
+        """
+        frame = self.frame
+        levels = frame.levels
+        reasons = frame.reasons
+        seen = set()
+        core_nodes = set()
+        stack = [q >> 1 for q in seed]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if levels[node] <= 0:
+                continue
+            if reasons[node] == NO_REASON:
+                core_nodes.add(node)
+            else:
+                stack.extend(q >> 1 for q in self._reason_side(node))
+        return [a for a in assume
+                if (a >> 1) in core_nodes or a == must_include]
+
     def _bump(self, lit: int) -> None:
         act = self.activity[lit] + self.var_inc
         self.activity[lit] = act
@@ -737,6 +770,7 @@ class CSatEngine:
             tracer.emit("solve_start", assumptions=len(assumptions),
                         learned_db=len(self.learnt_idx))
         interrupted = False
+        self._core = None  # set by _search on UNSAT exits
         if limits.exhausted_on_entry():
             status = UNKNOWN  # zero/negative budget: already exhausted
         else:
@@ -763,7 +797,8 @@ class CSatEngine:
         result = SolverResult(status=status, model=model,
                               stats=self.stats.delta_since(stats0),
                               time_seconds=elapsed,
-                              interrupted=interrupted)
+                              interrupted=interrupted,
+                              core=self._core if status == UNSAT else None)
         if timers is not None:
             result.phase_seconds = complete_phases(
                 timers.delta_since(timer_snap), elapsed)
@@ -794,6 +829,7 @@ class CSatEngine:
     def _search(self, assume: List[int], limits: Limits, start: float,
                 max_learned: Optional[int]) -> str:
         if not self.ok:
+            self._core = []
             return UNSAT
         options = self.options
         frame = self.frame
@@ -835,9 +871,13 @@ class CSatEngine:
                     self.ok = False
                     if self.proof is not None:
                         self.proof.add([])
+                    self._core = []
                     return UNSAT
                 if level <= len(assume):
-                    return UNSAT  # conflict depends only on assumptions
+                    # Conflict depends only on assumptions; extract the
+                    # subset it actually needs (failed-assumption core).
+                    self._core = self._analyze_final(conflict, assume)
+                    return UNSAT
                 if timers is None:
                     learnt, bt_level = self._analyze(conflict)
                     self._record_learnt(learnt, bt_level)
@@ -847,6 +887,7 @@ class CSatEngine:
                     self._record_learnt(learnt, bt_level)
                     timers.analyze += clock() - t0
                 if not self.ok:
+                    self._core = []  # root-level refutation: no assumptions
                     return UNSAT
                 self.var_inc /= options.var_decay
                 self.cla_inc /= options.clause_decay
@@ -909,6 +950,8 @@ class CSatEngine:
                 if val == 1:
                     frame.trail_lim.append(len(frame.trail))
                 elif val == 0:
+                    self._core = self._analyze_final([a], assume,
+                                                     must_include=a)
                     return UNSAT
                 else:
                     next_lit = a

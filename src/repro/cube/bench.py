@@ -1,0 +1,96 @@
+"""Cube-and-conquer speedup measurement -> ``BENCH_cube.json``.
+
+Measures end-to-end wall clock of :func:`repro.cube.solve_cubes` at each
+worker count and reports the speedup of the largest count over one
+worker.  On a single-CPU host the speedup channel is cube *granularity*:
+the cutter oversubscribes the partition superlinearly in the worker
+count (``cubes_per_worker * workers * bit_length(workers)`` cubes — see
+:meth:`CutterOptions.resolved_max_cubes`), and because CDCL effort grows
+superlinearly with cube hardness, a finer partition plus shared lemmas
+beats one coarse pass even without true hardware parallelism.  On a
+multi-core host the same runs additionally overlap in time.
+"""
+
+from __future__ import annotations
+
+import datetime
+import time
+from typing import Any, Dict, Optional, Sequence
+
+from ..bench.instances import instance_by_name
+from ..obs.export import SCHEMA_VERSION, environment_info
+from .conquer import solve_cubes
+from .cutter import CutterOptions
+
+#: The default speedup subject: the repo's hard UNSAT family (see
+#: ``ARITH_INSTANCES``); small enough to finish in CI, hard enough that
+#: partitioning pays.
+DEFAULT_INSTANCE = "mult7.arith"
+DEFAULT_WORKERS: Sequence[int] = (1, 4)
+
+
+def measure_point(circuit, workers: int, *,
+                  cutter: Optional[CutterOptions] = None,
+                  budget: Optional[float] = None,
+                  **solve_kwargs) -> Dict[str, Any]:
+    """One (instance, workers) wall-clock measurement."""
+    t0 = time.perf_counter()
+    report = solve_cubes(circuit, workers=workers, cutter=cutter,
+                         budget=budget, **solve_kwargs)
+    wall = time.perf_counter() - t0
+    return {
+        "workers": workers,
+        "status": report.result.status,
+        "seconds": round(wall, 4),
+        "cubes": len(report.cubes),
+        "generation_seconds": round(report.generation_seconds, 4),
+        "lemmas_shared": report.lemmas_shared,
+        "pruned": report.pruned,
+        "conflicts": report.result.stats.conflicts,
+        "decisions": report.result.stats.decisions,
+    }
+
+
+def cube_bench_document(instance: str = DEFAULT_INSTANCE,
+                        workers_list: Sequence[int] = DEFAULT_WORKERS,
+                        *,
+                        cutter: Optional[CutterOptions] = None,
+                        budget: Optional[float] = None,
+                        **solve_kwargs) -> Dict[str, Any]:
+    """Run the sweep and shape it like the other ``BENCH_*.json`` docs.
+
+    ``speedup`` is wall-clock of the *first* worker count over the
+    *last* (canonically 1 vs 4); null when either run failed to answer.
+    """
+    inst = instance_by_name(instance)
+    circuit = inst.build()
+    points = [measure_point(circuit, workers, cutter=cutter, budget=budget,
+                            **solve_kwargs)
+              for workers in workers_list]
+    speedup = None
+    base, best = points[0], points[-1]
+    if base["status"] == inst.expected and best["status"] == inst.expected \
+            and best["seconds"] > 0:
+        speedup = round(base["seconds"] / best["seconds"], 3)
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "bench_cube",
+        "source": "repro.cube.bench",
+        "instance": instance,
+        "expected": inst.expected,
+        "datetime": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "environment": environment_info(),
+        "points": points,
+        "speedup": speedup,
+    }
+
+
+def export_cube_bench(out_path: str = "BENCH_cube.json",
+                      **kwargs) -> Dict[str, Any]:
+    """Run the sweep and write the document; returns it."""
+    import json
+    document = cube_bench_document(**kwargs)
+    with open(out_path, "w") as fh:
+        json.dump(document, fh, indent=2)
+        fh.write("\n")
+    return document

@@ -35,6 +35,11 @@ Event kinds
     A non-search phase completed (e.g. ``simulation``), with seconds.
 ``progress``
     Periodic progress snapshot (see :mod:`repro.obs.progress`).
+``cube_generated`` / ``cube_start`` / ``cube_result`` / ``cube_prune`` /
+``cube_end``
+    Cube-and-conquer lifecycle (see :mod:`repro.cube`): the tree was cut,
+    a cube was launched, answered, pruned by a sibling's failed-assumption
+    core, and the run finished.
 
 Overhead
 --------
@@ -62,6 +67,8 @@ EVENT_KINDS = (
     # the parent process, never by the isolated workers themselves.
     "worker_spawn", "worker_result", "worker_fail", "worker_kill",
     "worker_retry", "portfolio_start", "portfolio_end", "degrade",
+    # Cube-and-conquer lifecycle (repro.cube): driver-side events.
+    "cube_generated", "cube_start", "cube_result", "cube_prune", "cube_end",
 )
 
 

@@ -103,6 +103,14 @@ class SolverResult:
     #: way to this result (``WorkerFailure.as_dict()`` records).  Empty for
     #: in-process solves.
     failures: List[Dict[str, Any]] = field(default_factory=list)
+    #: Failed-assumption core: for an UNSAT answer to a solve *under
+    #: assumptions*, the subset of the assumption literals the refutation
+    #: actually depends on (MiniSat's analyzeFinal).  ``[]`` means the
+    #: instance is UNSAT regardless of the assumptions; ``None`` for SAT /
+    #: UNKNOWN answers or engines that do not extract cores.  Literals are
+    #: in the caller's encoding (circuit literals for the circuit engine,
+    #: DIMACS for the CNF solver).
+    core: Optional[List[int]] = None
 
     @property
     def is_sat(self) -> bool:
@@ -132,6 +140,7 @@ class SolverResult:
             "engine": self.engine,
             "interrupted": self.interrupted,
             "failures": [dict(f) for f in self.failures],
+            "core": list(self.core) if self.core is not None else None,
         }
 
     def __repr__(self) -> str:

@@ -58,6 +58,9 @@ class WorkerOutcome:
     result: Optional[SolverResult] = None
     failure: Optional[WorkerFailure] = None
     seconds: float = 0.0
+    #: Shareable lemmas exported by the worker (cube jobs with
+    #: ``export_lemmas``); None otherwise.
+    lemmas: Optional[list] = None
 
     @property
     def ok(self) -> bool:
@@ -161,7 +164,9 @@ class WorkerHandle:
                                             engine=name,
                                             seconds=self.elapsed)), tracer)
         return self._finish(WorkerOutcome(name, result=result,
-                                          seconds=self.elapsed), tracer)
+                                          seconds=self.elapsed,
+                                          lemmas=payload.get("lemmas")),
+                            tracer)
 
     def _classify_exit(self) -> WorkerOutcome:
         """Worker died without a message: classify from the exit status."""

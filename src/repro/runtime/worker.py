@@ -62,6 +62,21 @@ class WorkerJob:
     collect_proof: bool = False
     bdd_node_limit: int = 200_000
     fault: Optional[str] = None       # injected fault kind, if scheduled
+    # --- cube-and-conquer extensions (repro.cube) ---------------------
+    #: Extra assumption literals (circuit encoding ``2*node + sign``)
+    #: required true alongside the objectives — how a cube reaches its
+    #: worker.  Supported for csat and cnf kinds only.
+    assumptions: Optional[List[int]] = None
+    #: Correlation classes discovered once by the cube driver (nested
+    #: ``[[(node, phase), ...], ...]`` lists): the worker seeds its
+    #: solver with them instead of re-running random simulation.
+    seed_classes: Optional[List[List[Tuple[int, int]]]] = None
+    #: Shared lemmas (clauses of circuit literals, proven by finished
+    #: cubes) injected into the engine at decision level 0.
+    seed_lemmas: Optional[List[List[int]]] = None
+    #: Ship root-level units + binary learned clauses back in the payload
+    #: (``"lemmas"`` key) for injection into not-yet-started cubes.
+    export_lemmas: bool = False
 
 
 def _apply_mem_limit(mem_limit_mb: Optional[int]) -> None:
@@ -135,12 +150,29 @@ def _apply_post_fault(kind: Optional[str], job: WorkerJob,
     return payload
 
 
+def _circuit_to_dimacs(lit: int) -> int:
+    """Circuit literal -> DIMACS literal under the Tseitin var = node + 1."""
+    var = (lit >> 1) + 1
+    return -var if (lit & 1) else var
+
+
+def _dimacs_to_circuit(d: int) -> int:
+    node = abs(d) - 1
+    return 2 * node + (1 if d < 0 else 0)
+
+
 def _solve_job(job: WorkerJob) -> dict:
     """Run the solve a job describes; returns the result payload dict."""
     circuit = job.circuit
     objectives = (list(job.objectives) if job.objectives is not None
                   else list(circuit.outputs))
+    assumptions = list(job.assumptions or [])
+    if assumptions and job.kind not in (KIND_CSAT, KIND_CNF):
+        raise ValueError("assumptions require a csat or cnf worker, "
+                         "not {!r}".format(job.kind))
     proof = None
+    lemmas = None
+    core = None
     if job.kind == KIND_CSAT:
         from ..core.solver import CircuitSolver
         from ..csat.options import preset
@@ -153,7 +185,19 @@ def _solve_job(job: WorkerJob) -> dict:
             from ..proof import ProofLog
             proof = ProofLog()
         solver = CircuitSolver(circuit, options, proof=proof)
-        result = solver.solve(objectives=objectives, limits=job.limits)
+        if job.seed_classes is not None:
+            from ..cube.sharing import deserialize_classes
+            # Pre-seeding skips the worker's own simulation pass.
+            solver.correlations = deserialize_classes(job.seed_classes)
+        if job.seed_lemmas:
+            from ..cube.sharing import inject_csat_lemmas
+            inject_csat_lemmas(solver.engine, job.seed_lemmas)
+        result = solver.solve(objectives=objectives + assumptions,
+                              limits=job.limits)
+        core = result.core
+        if job.export_lemmas:
+            from ..cube.sharing import collect_csat_lemmas
+            lemmas = collect_csat_lemmas(solver.engine)
     elif job.kind == KIND_CNF:
         from ..circuit.cnf_convert import tseitin
         from ..cnf.solver import CnfSolver
@@ -161,12 +205,25 @@ def _solve_job(job: WorkerJob) -> dict:
         if job.collect_proof:
             from ..proof import ProofLog
             proof = ProofLog()
-        result = CnfSolver(formula, proof=proof).solve(limits=job.limits)
+        solver = CnfSolver(formula, proof=proof)
+        if job.seed_lemmas:
+            for clause in job.seed_lemmas:
+                # Shared lemmas hold for circuit AND objectives — exactly
+                # this formula — so they join the clause database directly.
+                solver.add_clause([_circuit_to_dimacs(l) for l in clause])
+        result = solver.solve(
+            assumptions=[_circuit_to_dimacs(l) for l in assumptions],
+            limits=job.limits)
         if result.status == SAT:
             # CNF var = node + 1; map back so the parent's circuit-level
             # certifier can replay the model.
             result.model = {var - 1: value
                             for var, value in result.model.items()}
+        if result.core is not None:
+            core = [_dimacs_to_circuit(d) for d in result.core]
+        if job.export_lemmas:
+            from ..cube.sharing import collect_cnf_lemmas
+            lemmas = collect_cnf_lemmas(solver, circuit.num_nodes)
     elif job.kind == KIND_BRUTE:
         from ..verify.oracle import _brute_force
         result = _brute_force(circuit, objectives)
@@ -188,7 +245,11 @@ def _solve_job(job: WorkerJob) -> dict:
         "sim_seconds": result.sim_seconds,
         "interrupted": result.interrupted,
         "proof": proof_steps,
-        "objectives": objectives,
+        # Boundary certification replays *all* requirements, cube literals
+        # included — a SAT model must satisfy its cube too.
+        "objectives": objectives + assumptions,
+        "core": core,
+        "lemmas": lemmas,
     }
 
 
@@ -234,4 +295,5 @@ def payload_to_result(payload: dict) -> SolverResult:
         time_seconds=payload.get("time_seconds", 0.0),
         sim_seconds=payload.get("sim_seconds", 0.0),
         interrupted=payload.get("interrupted", False),
-        engine=payload.get("engine"))
+        engine=payload.get("engine"),
+        core=payload.get("core"))

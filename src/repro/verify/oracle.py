@@ -148,11 +148,29 @@ def _bdd_check(circuit: Circuit, objectives: Sequence[int],
     return SolverResult(status=SAT, model=model)
 
 
+def _cube_engine(circuit: Circuit, objectives: Sequence[int],
+                 limits: Optional[Limits]) -> SolverResult:
+    """Cube-and-conquer as an oracle voter (in-process, sequential).
+
+    ``workers=0`` keeps the oracle deterministic and subprocess-free: the
+    cube tree is cut with the same lookahead heuristic as a distributed
+    run, then conquered on one shared engine.  Disagreement with the flat
+    engines would indicate a partitioning or assumption-handling bug.
+    """
+    from ..cube.conquer import solve_cubes
+    from ..cube.cutter import CutterOptions
+    report = solve_cubes(circuit, list(objectives), workers=0,
+                         cutter=CutterOptions(cubes_per_worker=8),
+                         limits=limits)
+    return report.result
+
+
 def differential_check(circuit: Circuit,
                        objectives: Optional[Sequence[int]] = None,
                        limits: Optional[Limits] = None,
                        presets: Sequence[str] = DEFAULT_PRESETS,
                        include_cnf: bool = True,
+                       include_cube: bool = True,
                        include_brute: bool = True,
                        include_bdd: bool = True,
                        brute_force_max_inputs: int = 14,
@@ -194,6 +212,27 @@ def differential_check(circuit: Circuit,
                 report.certification_failures.append(
                     "{}: {}".format(name, answer.certificate.detail))
         report.answers.append(answer)
+
+    if include_cube:
+        # Like brute/bdd below, only SAT answers are certifiable: a cube
+        # run's UNSAT verdict is a union of per-cube refutations with no
+        # single replayable DRUP log.
+        t0 = time.perf_counter()
+        try:
+            result = _cube_engine(circuit, objectives, limits)
+        except ReproError as exc:
+            report.answers.append(EngineAnswer(
+                "cube", UNKNOWN, note="error: {}".format(exc)))
+        else:
+            answer = EngineAnswer("cube", result.status,
+                                  time_seconds=time.perf_counter() - t0)
+            if certify and result.status == SAT:
+                answer.certificate = certify_result(circuit, result,
+                                                    objectives)
+                if not answer.certificate.ok:
+                    report.certification_failures.append(
+                        "cube: " + answer.certificate.detail)
+            report.answers.append(answer)
 
     if include_brute and circuit.num_inputs <= brute_force_max_inputs:
         t0 = time.perf_counter()
