@@ -9,6 +9,8 @@ from .miter import miter, miter_identical
 from .rewrite import optimize
 from .sequential import (FlipFlop, SequentialCircuit, bounded_model_check,
                          read_bench_sequential)
+from .source import (CIRCUIT_FORMATS, load_circuit, load_dimacs,
+                     read_circuit_text, sniff_format)
 from .topo import (append_circuit, extract_cone, restrash, topological_order,
                    transitive_fanout)
 from .validate import CircuitStatistics, ValidationReport, statistics, validate
@@ -23,5 +25,7 @@ __all__ = [
     "transitive_fanout",
     "FlipFlop", "SequentialCircuit", "bounded_model_check",
     "read_bench_sequential",
+    "CIRCUIT_FORMATS", "load_circuit", "load_dimacs", "read_circuit_text",
+    "sniff_format",
     "CircuitStatistics", "ValidationReport", "statistics", "validate",
 ]

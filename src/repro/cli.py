@@ -25,6 +25,17 @@ Commands
                cross-checked and certified; failures shrunk into a corpus
 ``oracle``     run one circuit through every engine and compare answers
 ``trace``      summarize a JSONL event trace written by ``solve --trace``
+``fingerprint``canonical structural fingerprint of a circuit (the serve
+               cache key: name-independent, inverter-aware)
+``serve``      run the solver as a long-lived JSON-over-HTTP service with
+               an answer cache and isolated solve workers
+``submit``     submit an instance to a running ``repro serve`` and wait
+               for (or poll) the answer
+``serve-bench``seeded load generation against in-process servers; writes
+               the BENCH_serve.json throughput/latency document
+
+``solve``, ``solve-cnf``, ``cube`` and ``submit`` accept ``-`` as the
+file argument to read the instance from stdin (format is sniffed).
 
 ``solve`` and ``solve-cnf`` accept the observability flags ``--trace FILE``
 (structured event tracing), ``--progress [N]`` (a progress line every N
@@ -42,10 +53,9 @@ import sys
 from typing import List, Optional
 
 from . import __version__
-from .circuit.bench_io import read_bench, write_bench
+from .circuit.bench_io import write_bench
 from .circuit.sequential import bounded_model_check, read_bench_sequential
 from .circuit.validate import statistics, validate
-from .cnf.formula import read_dimacs
 from .cnf.solver import CnfSolver
 from .circuit.cnf_convert import cnf_to_circuit
 from .core.solver import CircuitSolver, check_equivalence
@@ -107,13 +117,15 @@ def _finish_trace(tracer) -> None:
 
 
 def _read_circuit(path: str):
-    """Read a combinational circuit; format chosen by extension
-    (.aag = ASCII AIGER, anything else = .bench)."""
-    from .circuit.aiger import read_aiger
-    with open(path) as fh:
-        if path.endswith(".aag"):
-            return read_aiger(fh, name=path, as_sequential=False)
-        return read_bench(fh, name=path)
+    """Read a combinational circuit from a file or stdin (``-``).
+
+    Extension picks the format for real files (.aag = ASCII AIGER,
+    .cnf/.dimacs = DIMACS via circuit conversion, anything else =
+    .bench); stdin is content-sniffed.  Shared with ``repro submit``
+    and the server's /submit endpoint (repro.circuit.source).
+    """
+    from .circuit.source import load_circuit
+    return load_circuit(path)
 
 
 def _print_result(result, label: str = "result", as_json: bool = False) -> int:
@@ -289,8 +301,8 @@ def cmd_solve(args) -> int:
 
 
 def cmd_solve_cnf(args) -> int:
-    with open(args.file) as fh:
-        formula = read_dimacs(fh, name=args.file)
+    from .circuit.source import load_dimacs
+    formula = load_dimacs(args.file)
     tracer, obs_kwargs = _observability(args)
     if args.via_circuit:
         circuit, _ = cnf_to_circuit(formula)
@@ -580,6 +592,135 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_fingerprint(args) -> int:
+    from .serve.fingerprint import fingerprint
+    if bool(args.file) == bool(args.instance):
+        print("error: give a circuit file OR --instance NAME",
+              file=sys.stderr)
+        return 2
+    if args.instance:
+        from .bench.instances import instance_by_name
+        circuit = instance_by_name(args.instance).build()
+        label = args.instance
+    else:
+        circuit = _read_circuit(args.file)
+        label = args.file
+    fp = fingerprint(circuit)
+    if args.json:
+        import json
+        print(json.dumps(dict(fp.as_dict(), instance=label), indent=2))
+    else:
+        print("{}  {}".format(fp.digest, label))
+        print("inputs={} ands={} outputs={} (canonical cone)".format(
+            fp.num_inputs, fp.num_ands, fp.num_outputs))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from .obs import JsonlTracer
+    from .serve.cache import AnswerCache
+    from .serve.server import ReproServer
+    tracer = JsonlTracer(args.trace) if args.trace else None
+    cache = AnswerCache(max_entries=args.cache_size,
+                        store_path=args.cache_file,
+                        cache_unsat=not args.no_cache_unsat)
+    server = ReproServer(
+        host=args.host, port=args.port, workers=args.workers,
+        cache=cache, max_queue=args.max_queue,
+        mem_limit_mb=args.mem_limit, grace_seconds=args.grace,
+        certify=args.certify, max_wall_seconds=args.job_timeout,
+        tracer=tracer)
+    print("repro serve: listening on {} ({} workers, cache {} entries{})"
+          .format(server.address, args.workers, args.cache_size,
+                  ", store " + args.cache_file if args.cache_file else ""),
+          file=sys.stderr)
+    try:
+        server.serve_forever()
+    finally:
+        _finish_trace(tracer)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from .serve.client import ServeClient, ServeError
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    limits = {"max_seconds": args.budget} if args.budget else None
+    try:
+        if args.instance:
+            snap = client.submit(instance=args.instance, engine=args.engine,
+                                 preset=args.preset, limits=limits,
+                                 priority=args.priority, fault=args.fault,
+                                 cube_workers=args.cube_workers,
+                                 wait=0 if args.no_wait else args.wait)
+        else:
+            from .circuit.source import read_source_text
+            text = read_source_text(args.file)
+            snap = client.submit(circuit_text=text, engine=args.engine,
+                                 preset=args.preset, limits=limits,
+                                 priority=args.priority, fault=args.fault,
+                                 label=args.file,
+                                 cube_workers=args.cube_workers,
+                                 wait=0 if args.no_wait else args.wait)
+        if not args.no_wait and snap.get("state") not in ("DONE",
+                                                          "CANCELLED"):
+            snap = client.wait_for(snap["job"], timeout=args.wait)
+    except ServeError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+        print(json.dumps(snap, indent=2))
+    else:
+        result = snap.get("result") or {}
+        status = result.get("status", snap.get("state"))
+        flags = []
+        if result.get("cached"):
+            flags.append("cached")
+        if snap.get("deduped"):
+            flags.append("deduped")
+        print("job {}: {}{}".format(
+            snap.get("job"), status,
+            " ({})".format(", ".join(flags)) if flags else ""))
+        if result.get("model_inputs"):
+            for name, value in sorted(result["model_inputs"].items()):
+                print("{} = {}".format(name, value))
+        for failure in result.get("failures") or []:
+            print("worker failure: {} [{}] {}".format(
+                failure.get("engine", "?"), failure.get("kind", "?"),
+                failure.get("detail", "")), file=sys.stderr)
+    result = snap.get("result") or {}
+    if result.get("status") == "SAT":
+        return 10
+    if result.get("status") == "UNSAT":
+        return 20
+    return 0
+
+
+def cmd_serve_bench(args) -> int:
+    from .serve.loadgen import export_serve_bench, serve_bench_document
+    try:
+        workers_list = [int(w) for w in args.workers.split(",")]
+    except ValueError:
+        print("error: --workers wants e.g. '1,4'", file=sys.stderr)
+        return 2
+    document = serve_bench_document(
+        seed=args.seed, requests=args.requests,
+        workers_list=workers_list, concurrency=args.concurrency,
+        max_seconds=args.budget, differential=not args.no_differential)
+    for point in document["points"]:
+        print("workers={:2d} {:4s}  {:6.1f} req/s  p50={:8.2f}ms "
+              "p95={:8.2f}ms  hits={}/{} errors={}".format(
+                  point["workers"], point["cache"], point["rps"] or 0.0,
+                  point["p50_ms"], point["p95_ms"], point["cache_hits"],
+                  point["requests"], point["errors"]))
+    print("warm speedup (p50 cold/warm at {} workers): {}".format(
+        max(workers_list), document["warm_speedup"] or "n/a"))
+    if args.json:
+        export_serve_bench(document, args.json)
+        print("wrote {}".format(args.json))
+    return 0 if document["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -747,6 +888,98 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--budget", type=float, default=None)
     p.set_defaults(func=cmd_oracle)
+
+    p = sub.add_parser("fingerprint",
+                       help="canonical structural fingerprint of a circuit "
+                            "(the serve cache key)")
+    p.add_argument("file", nargs="?", default=None,
+                   help=".bench/.aag/.cnf circuit, or - for stdin")
+    p.add_argument("--instance", metavar="NAME", default=None,
+                   help="built-in benchmark instance instead of a file")
+    p.add_argument("--json", action="store_true",
+                   help="print the fingerprint as JSON")
+    p.set_defaults(func=cmd_fingerprint)
+
+    p = sub.add_parser("serve",
+                       help="serve solves over JSON-over-HTTP with an "
+                            "answer cache and isolated workers")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8587)
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="concurrent solve worker threads (each runs its "
+                        "job in an isolated subprocess; default 2)")
+    p.add_argument("--max-queue", type=int, default=64, metavar="N",
+                   help="admission control: reject past this queue depth "
+                        "(default 64)")
+    p.add_argument("--cache-size", type=int, default=512, metavar="N",
+                   help="answer cache capacity in entries (default 512)")
+    p.add_argument("--cache-file", metavar="FILE", default=None,
+                   help="persist the answer cache to this JSONL file")
+    p.add_argument("--no-cache-unsat", action="store_true",
+                   help="cache SAT answers only (paranoid mode: UNSAT "
+                        "entries cannot be re-certified per request)")
+    p.add_argument("--job-timeout", type=float, default=None, metavar="SEC",
+                   help="hard wall-clock cap applied to every job")
+    p.add_argument("--mem-limit", type=int, default=None, metavar="MB",
+                   help="hard per-worker address-space cap in MB")
+    p.add_argument("--grace", type=float, default=1.0, metavar="SEC",
+                   help="SIGTERM-to-SIGKILL grace for overrunning workers")
+    p.add_argument("--certify", choices=("off", "sat", "full"),
+                   default="sat",
+                   help="boundary re-certification of worker answers")
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="write serve/job/worker lifecycle events (JSONL)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="submit an instance to a running repro serve")
+    p.add_argument("file", nargs="?", default=None,
+                   help=".bench/.aag/.cnf circuit, or - for stdin")
+    p.add_argument("--instance", metavar="NAME", default=None,
+                   help="built-in benchmark instance instead of a file")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8587)
+    p.add_argument("--engine", choices=("csat", "cnf", "brute", "bdd",
+                                        "cube"), default="csat")
+    p.add_argument("--preset", choices=_PRESETS, default="explicit")
+    p.add_argument("--budget", type=float, default=None,
+                   help="per-request wall-clock budget in seconds")
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher runs earlier (default 0)")
+    p.add_argument("--cube-workers", type=int, default=2, metavar="N",
+                   help="cube fan-out when --engine cube (default 2)")
+    p.add_argument("--wait", type=float, default=300.0, metavar="SEC",
+                   help="seconds to wait for the answer (default 300)")
+    p.add_argument("--no-wait", action="store_true",
+                   help="submit and print the job id without waiting")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="HTTP timeout per request (default 30)")
+    p.add_argument("--fault", metavar="KIND", default=None,
+                   help="test-only worker fault injection (crash, hang, "
+                        "membomb, ...)")
+    p.add_argument("--json", action="store_true",
+                   help="print the job snapshot as JSON")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("serve-bench",
+                       help="seeded load generation against in-process "
+                            "servers; exports BENCH_serve.json")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--requests", type=int, default=40,
+                   help="workload size per pass (default 40)")
+    p.add_argument("--workers", metavar="LIST", default="1,4",
+                   help="comma-separated server worker counts "
+                        "(default '1,4')")
+    p.add_argument("--concurrency", type=int, default=4,
+                   help="concurrent load-generating clients (default 4)")
+    p.add_argument("--budget", type=float, default=60.0,
+                   help="per-request budget in seconds (default 60)")
+    p.add_argument("--no-differential", action="store_true",
+                   help="skip the direct-solve differential reference")
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="write the benchmark document here "
+                        "(BENCH_serve.json)")
+    p.set_defaults(func=cmd_serve_bench)
     return parser
 
 

@@ -40,6 +40,12 @@ Event kinds
     Cube-and-conquer lifecycle (see :mod:`repro.cube`): the tree was cut,
     a cube was launched, answered, pruned by a sibling's failed-assumption
     core, and the run finished.
+``job_submit`` / ``job_dedup`` / ``job_start`` / ``job_done`` /
+``cache_hit`` / ``serve_start`` / ``serve_drain``
+    Serving lifecycle (see :mod:`repro.serve`): a request was admitted,
+    attached to identical in-flight work, started solving, finished,
+    was answered from the fingerprint cache; the server came up / began
+    draining.
 
 Overhead
 --------
@@ -69,6 +75,9 @@ EVENT_KINDS = (
     "worker_retry", "portfolio_start", "portfolio_end", "degrade",
     # Cube-and-conquer lifecycle (repro.cube): driver-side events.
     "cube_generated", "cube_start", "cube_result", "cube_prune", "cube_end",
+    # Serving lifecycle (repro.serve): scheduler/server-side events.
+    "job_submit", "job_dedup", "job_start", "job_done", "cache_hit",
+    "serve_start", "serve_drain",
 )
 
 

@@ -71,6 +71,15 @@ class WorkerOutcome:
         """A certified SAT/UNSAT answer (what a portfolio race is for)."""
         return self.ok and self.result.status in (SAT, UNSAT)
 
+    def as_dict(self) -> dict:
+        """JSON-ready summary (used by serving payloads and reports)."""
+        return {
+            "engine": self.engine,
+            "seconds": round(self.seconds, 6),
+            "result": self.result.as_dict() if self.result else None,
+            "failure": self.failure.as_dict() if self.failure else None,
+        }
+
 
 class WorkerHandle:
     """Parent-side handle on one running worker."""

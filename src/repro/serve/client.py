@@ -1,0 +1,167 @@
+"""Client side of the serve protocol (stdlib ``http.client`` only).
+
+:class:`ServeClient` is both the ``repro submit`` CLI's backend and the
+load generator's workhorse.  Errors the server reports in its structured
+``{"error": {...}}`` envelope are raised as :class:`ServeError` carrying
+the machine-readable code, so callers can distinguish a malformed
+request (400) from back-pressure (503 queue-full) and retry accordingly.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Dict, Optional
+
+from ..errors import ReproError
+
+
+class ServeError(ReproError):
+    """A serve request failed; ``code`` is the protocol error code."""
+
+    def __init__(self, code: str, message: str, status: int = 0):
+        super().__init__("{}: {}".format(code, message))
+        self.code = code
+        self.message = message
+        self.status = status
+
+
+class ServeClient:
+    """Thin JSON-over-HTTP client for one repro server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8587,
+                 timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 timeout: Optional[float] = None) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout)
+        try:
+            payload = json.dumps(body).encode("utf-8") \
+                if body is not None else None
+            headers = {"Content-Type": "application/json"} \
+                if payload is not None else {}
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (OSError, socket.timeout,
+                    http.client.HTTPException) as exc:
+                raise ServeError("unreachable",
+                                 "cannot reach {}:{}: {}".format(
+                                     self.host, self.port, exc))
+            try:
+                data = json.loads(raw.decode("utf-8")) if raw else {}
+            except (ValueError, UnicodeDecodeError):
+                raise ServeError("bad-response",
+                                 "server sent non-JSON (HTTP {})".format(
+                                     response.status),
+                                 status=response.status)
+            if response.status >= 400 or "error" in data:
+                err = data.get("error") or {}
+                raise ServeError(err.get("code", "http-{}".format(
+                                     response.status)),
+                                 err.get("message", "request failed"),
+                                 status=response.status)
+            return data
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # Protocol verbs
+    # ------------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def status(self) -> Dict[str, Any]:
+        return self._request("GET", "/status")
+
+    def submit(self,
+               circuit_text: Optional[str] = None,
+               instance: Optional[str] = None,
+               engine: str = "csat",
+               preset: str = "explicit",
+               limits: Optional[Dict[str, Any]] = None,
+               priority: int = 0,
+               label: Optional[str] = None,
+               fmt: Optional[str] = None,
+               fault: Optional[str] = None,
+               cube_workers: int = 2,
+               wait: float = 0.0) -> Dict[str, Any]:
+        """Submit one instance; returns the job snapshot.
+
+        With ``wait > 0`` the server blocks up to that many seconds and
+        the snapshot usually carries the final result already.
+        """
+        body: Dict[str, Any] = {"engine": engine, "preset": preset,
+                                "priority": priority,
+                                "cube_workers": cube_workers}
+        if circuit_text is not None:
+            body["circuit"] = circuit_text
+        if instance is not None:
+            body["instance"] = instance
+        if limits:
+            body["limits"] = limits
+        if label:
+            body["label"] = label
+        if fmt:
+            body["format"] = fmt
+        if fault:
+            body["fault"] = fault
+        if wait:
+            body["wait"] = wait
+        timeout = (wait + self.timeout) if wait else self.timeout
+        return self._request("POST", "/submit", body=body, timeout=timeout)
+
+    def result(self, job_id: str, wait: float = 0.0) -> Dict[str, Any]:
+        path = "/result/{}".format(job_id)
+        if wait:
+            path += "?wait={:g}".format(wait)
+        timeout = (wait + self.timeout) if wait else self.timeout
+        return self._request("GET", path, timeout=timeout)
+
+    def wait_for(self, job_id: str, timeout: float = 300.0,
+                 poll: float = 5.0) -> Dict[str, Any]:
+        """Block until a job reaches a terminal state (or raise)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServeError("timeout",
+                                 "job {} still {} after {:g}s".format(
+                                     job_id, "running", timeout))
+            snap = self.result(job_id, wait=min(poll, max(0.1, remaining)))
+            if snap.get("state") in ("DONE", "CANCELLED"):
+                return snap
+
+    def events(self, job_id: str, since: int = 0) -> Dict[str, Any]:
+        return self._request("GET", "/events/{}?since={}".format(job_id,
+                                                                 since))
+
+    def stream_events(self, job_id: str, poll: float = 0.2,
+                      timeout: float = 300.0):
+        """Generator: yield events as the job produces them, until done."""
+        since = 0
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            chunk = self.events(job_id, since=since)
+            for event in chunk.get("events", []):
+                yield event
+            since = chunk.get("next", since)
+            if chunk.get("state") in ("DONE", "CANCELLED"):
+                return
+            time.sleep(poll)
+
+    def shutdown(self, drain: bool = True) -> Dict[str, Any]:
+        return self._request("POST", "/shutdown", body={"drain": drain})

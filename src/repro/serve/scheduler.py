@@ -1,0 +1,541 @@
+"""The solve scheduler: an async job queue over isolated runtime workers.
+
+This is the server's engine room.  Requests are admitted (or rejected
+*at the door* with a structured reason — never queued to fail later),
+fingerprinted, answered from the :class:`~repro.serve.cache.AnswerCache`
+when possible, deduplicated against identical in-flight work, and
+otherwise queued by priority for a pool of worker threads.  Each worker
+thread runs the solve in an **isolated subprocess** via
+:func:`repro.runtime.supervisor.run_supervised` (or fans out further via
+:func:`repro.cube.solve_cubes` for ``engine="cube"``), so a hanging,
+crashing, or memory-bombing solve can never take the server down: it
+surfaces as the PR3 failure taxonomy (TIMEOUT / MEMOUT / CRASHED /
+CORRUPT_ANSWER / LOST), verbatim, in the job's result payload.
+
+Lifecycle: ``submit()`` returns a :class:`Job` immediately; callers
+block on ``job.wait()`` or poll ``job.snapshot()``.  ``close()`` drains
+gracefully — no new admissions, queued and running jobs finish — or
+cancels the queue when asked to stop fast.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..circuit.netlist import Circuit
+from ..errors import SolverError
+from ..result import Limits, SAT, UNKNOWN, UNSAT
+from ..runtime.supervisor import (CERTIFY_LEVELS, CERTIFY_SAT,
+                                  run_supervised)
+from ..runtime.worker import WORKER_KINDS, WorkerJob
+from ..obs.trace import Tracer
+from .cache import AnswerCache, limits_class
+from .fingerprint import Fingerprint, bits_to_model, fingerprint, \
+    model_to_bits
+
+#: Engines a request may name: the four isolated worker kinds plus
+#: cube-and-conquer behind the same endpoint.
+ENGINE_CUBE = "cube"
+SERVE_ENGINES = tuple(WORKER_KINDS) + (ENGINE_CUBE,)
+
+#: Job states.
+QUEUED = "QUEUED"
+RUNNING = "RUNNING"
+DONE = "DONE"
+CANCELLED = "CANCELLED"
+
+#: Structured admission-rejection codes (HTTP-ish semantics: ``queue-full``
+#: maps to 503, everything else to 400).
+REJECT_BAD_ENGINE = "bad-engine"
+REJECT_BAD_LIMITS = "bad-limits"
+REJECT_EMPTY_BUDGET = "empty-budget"
+REJECT_QUEUE_FULL = "queue-full"
+REJECT_DRAINING = "draining"
+
+
+def input_assignment(circuit: Circuit,
+                     model: Optional[Dict[int, bool]]) -> Dict[str, int]:
+    """A SAT model's primary-input projection, keyed by PI name (JSON-safe).
+
+    This is the part of a model a client can act on (unassigned inputs
+    complete arbitrarily; gate values are implied).
+    """
+    if not model:
+        return {}
+    return {circuit.name_of(pi) or "n{}".format(pi):
+            int(bool(model.get(pi, False)))
+            for pi in circuit.inputs}
+
+
+class AdmissionError(Exception):
+    """A request was refused at the door, with a machine-readable code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"code": self.code, "message": self.message}
+
+
+@dataclass
+class JobRequest:
+    """One solve request as the scheduler sees it (already parsed).
+
+    ``fp`` may carry a precomputed fingerprint of ``circuit`` (the
+    server's parse memo provides one for byte-identical resubmissions);
+    when absent the scheduler computes it at admission.
+    """
+
+    circuit: Circuit
+    engine: str = "csat"
+    preset: str = "explicit"
+    limits: Optional[Limits] = None
+    priority: int = 0
+    label: str = "request"
+    fault: Optional[str] = None       # deterministic fault injection (tests)
+    cube_workers: int = 2
+    fp: Optional[Fingerprint] = None
+
+
+class _JobTracer(Tracer):
+    """Tee: append events to the job's buffer and any global tracer."""
+
+    enabled = True
+
+    def __init__(self, job: "Job", downstream=None):
+        self._job = job
+        self._downstream = downstream
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        self._job.add_event(kind, **fields)
+        if self._downstream is not None:
+            self._downstream.emit(kind, job=self._job.id, **fields)
+
+
+class Job:
+    """Parent-side handle on one admitted request."""
+
+    def __init__(self, job_id: str, request: JobRequest, fp: Fingerprint):
+        self.id = job_id
+        self.request = request
+        self.fp = fp
+        self.state = QUEUED
+        self.result: Optional[Dict[str, Any]] = None
+        self.cached = False
+        self.deduped = False
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.events: List[Dict[str, Any]] = []
+        self._done = threading.Event()
+
+    def add_event(self, kind: str, **fields: Any) -> None:
+        record = {"kind": kind}
+        record.update(fields)
+        self.events.append(record)   # list.append is atomic under the GIL
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job finishes; True if it did within timeout."""
+        return self._done.wait(timeout)
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def finish(self, result: Dict[str, Any], state: str = DONE) -> None:
+        self.result = result
+        self.state = state
+        self.finished = time.time()
+        self._done.set()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready view of the job (the server's /result payload)."""
+        waited = (self.started or self.finished or time.time()) - self.created
+        snap = {
+            "job": self.id,
+            "label": self.request.label,
+            "engine": self.request.engine,
+            "state": self.state,
+            "cached": self.cached,
+            "deduped": self.deduped,
+            "fingerprint": self.fp.as_dict(),
+            "queue_seconds": round(max(0.0, waited), 6),
+        }
+        if self.result is not None:
+            snap["result"] = self.result
+        return snap
+
+
+class SolveScheduler:
+    """Priority job queue + worker-thread pool + answer cache."""
+
+    def __init__(self,
+                 workers: int = 2,
+                 cache: Optional[AnswerCache] = None,
+                 max_queue: int = 64,
+                 mem_limit_mb: Optional[int] = None,
+                 grace_seconds: float = 1.0,
+                 certify: str = CERTIFY_SAT,
+                 max_wall_seconds: Optional[float] = None,
+                 tracer=None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if certify not in CERTIFY_LEVELS:
+            raise ValueError("certify must be one of {}".format(
+                CERTIFY_LEVELS))
+        self.cache = cache if cache is not None else AnswerCache()
+        self.max_queue = max_queue
+        self.mem_limit_mb = mem_limit_mb
+        self.grace_seconds = grace_seconds
+        self.certify = certify
+        self.max_wall_seconds = max_wall_seconds
+        self.tracer = tracer
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._queue: List[Any] = []          # heap of (-prio, seq, job)
+        self._seq = itertools.count()
+        self._ids = itertools.count(1)
+        self._jobs: Dict[str, Job] = {}
+        self._inflight: Dict[str, Job] = {}  # dedup key -> primary job
+        self._followers: Dict[str, List[Job]] = {}
+        self._running = 0
+        self._closed = False
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self._threads = [
+            threading.Thread(target=self._worker_loop, daemon=True,
+                             name="serve-worker-{}".format(i))
+            for i in range(workers)]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def submit(self, request: JobRequest) -> Job:
+        """Admit one request; raises :class:`AdmissionError` otherwise."""
+        if request.engine not in SERVE_ENGINES:
+            self.rejected += 1
+            raise AdmissionError(REJECT_BAD_ENGINE,
+                                 "unknown engine {!r}; known: {}".format(
+                                     request.engine,
+                                     ", ".join(SERVE_ENGINES)))
+        if request.limits is not None:
+            try:
+                request.limits.validate()
+            except SolverError as exc:
+                self.rejected += 1
+                raise AdmissionError(REJECT_BAD_LIMITS, str(exc))
+            if request.limits.exhausted_on_entry():
+                self.rejected += 1
+                raise AdmissionError(
+                    REJECT_EMPTY_BUDGET,
+                    "budget is zero or negative — the solve could never "
+                    "start; fix the limits instead of queueing it")
+        fp = request.fp if request.fp is not None \
+            else fingerprint(request.circuit)
+        key = "{}|{}|{}".format(fp.digest, limits_class(request.limits),
+                                request.engine)
+        with self._lock:
+            if self._closed:
+                self.rejected += 1
+                raise AdmissionError(REJECT_DRAINING,
+                                     "server is draining; not accepting "
+                                     "new work")
+            job = Job("j{}".format(next(self._ids)), request, fp)
+            self._jobs[job.id] = job
+            self.submitted += 1
+        job.add_event("job_submit", label=request.label,
+                      engine=request.engine, digest=fp.digest,
+                      priority=request.priority)
+        if self.tracer is not None:
+            self.tracer.emit("job_submit", job=job.id, label=request.label,
+                             engine=request.engine, digest=fp.digest)
+
+        # 1. Answer cache.
+        hit = self.cache.lookup(request.circuit, fp, request.limits,
+                                request.engine)
+        if hit is not None:
+            job.cached = True
+            job.add_event("cache_hit", digest=fp.digest,
+                          status=hit["status"])
+            if self.tracer is not None:
+                self.tracer.emit("cache_hit", job=job.id, digest=fp.digest,
+                                 status=hit["status"])
+            job.finish(self._result_payload(job, hit, cached=True))
+            with self._lock:
+                self.completed += 1
+            return job
+
+        # 2. In-flight deduplication: identical work shares one solve.
+        with self._lock:
+            primary = self._inflight.get(key)
+            if primary is not None and not primary.done:
+                job.deduped = True
+                self._followers.setdefault(key, []).append(job)
+                job.add_event("job_dedup", follows=primary.id)
+                return job
+            # 3. Admission control: bounded queue.
+            depth = len(self._queue)
+            if depth >= self.max_queue:
+                del self._jobs[job.id]
+                self.rejected += 1
+                raise AdmissionError(
+                    REJECT_QUEUE_FULL,
+                    "queue is full ({} jobs); retry later".format(depth))
+            self._inflight[key] = job
+            job._dedup_key = key
+            heapq.heappush(self._queue,
+                           (-request.priority, next(self._seq), job))
+            self._work.notify()
+        return job
+
+    def job(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    # ------------------------------------------------------------------
+    # Worker threads
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._closed:
+                    self._work.wait(0.2)
+                if not self._queue:
+                    if self._closed:
+                        return
+                    continue
+                _, _, job = heapq.heappop(self._queue)
+                self._running += 1
+            try:
+                self._execute(job)
+            finally:
+                with self._lock:
+                    self._running -= 1
+                    self.completed += 1
+                    self._work.notify_all()
+
+    def _execute(self, job: Job) -> None:
+        request = job.request
+        job.state = RUNNING
+        job.started = time.time()
+        job.add_event("job_start", engine=request.engine)
+        if self.tracer is not None:
+            self.tracer.emit("job_start", job=job.id, engine=request.engine)
+        tracer = _JobTracer(job, self.tracer)
+        try:
+            payload = self._solve(job, tracer)
+        except Exception as exc:  # noqa: BLE001 — the server must survive
+            payload = {"status": UNKNOWN, "model_size": 0, "engine": None,
+                       "cached": False,
+                       "failures": [{"kind": "CRASHED",
+                                     "detail": "{}: {}".format(
+                                         type(exc).__name__, exc),
+                                     "engine": request.engine,
+                                     "seconds": 0.0}]}
+        model = payload.pop("_model", None)
+        if payload["status"] == SAT:
+            payload["model_inputs"] = input_assignment(
+                request.circuit, model)
+        if payload["status"] in (SAT, UNSAT):
+            self.cache.store(
+                job.fp, request.limits, request.engine, payload["status"],
+                model=model,
+                provenance={"engine": payload.get("engine"),
+                            "label": request.label,
+                            "time_seconds": payload.get("time_seconds"),
+                            "stats": payload.get("stats")})
+        job.add_event("job_done", status=payload["status"])
+        if self.tracer is not None:
+            self.tracer.emit("job_done", job=job.id,
+                             status=payload["status"])
+        self._resolve_followers(job, payload, model)
+        job.finish(payload)
+
+    def _wall_seconds(self, limits: Optional[Limits]) -> Optional[float]:
+        wall = limits.max_seconds if limits is not None else None
+        if self.max_wall_seconds is not None:
+            wall = (self.max_wall_seconds if wall is None
+                    else min(wall, self.max_wall_seconds))
+        return wall
+
+    def _solve(self, job: Job, tracer) -> Dict[str, Any]:
+        """Run one admitted job to a result payload (worker thread)."""
+        request = job.request
+        wall = self._wall_seconds(request.limits)
+        if request.engine == ENGINE_CUBE:
+            from ..cube import solve_cubes
+            report = solve_cubes(
+                request.circuit, workers=request.cube_workers,
+                budget=wall, mem_limit_mb=self.mem_limit_mb,
+                grace_seconds=self.grace_seconds, certify=self.certify,
+                trace=tracer)
+            result = report.result
+            payload = result.as_dict()
+            payload["engine"] = payload.get("engine") or "cube"
+            payload["cached"] = False
+            payload["_model"] = result.model
+            return payload
+        worker_job = WorkerJob(
+            circuit=request.circuit,
+            name="{}:{}".format(request.engine, request.preset)
+                 if request.engine == "csat" else request.engine,
+            kind=request.engine, preset_name=request.preset,
+            limits=request.limits, mem_limit_mb=self.mem_limit_mb,
+            fault=request.fault)
+        outcome = run_supervised(worker_job, wall_seconds=wall,
+                                 grace_seconds=self.grace_seconds,
+                                 certify=self.certify, tracer=tracer)
+        if outcome.ok:
+            payload = outcome.result.as_dict()
+            payload["cached"] = False
+            payload["_model"] = outcome.result.model
+            return payload
+        # Structured failure: the taxonomy crosses the protocol verbatim.
+        return {"status": UNKNOWN, "model_size": 0,
+                "engine": outcome.engine, "cached": False,
+                "time_seconds": outcome.seconds,
+                "failures": [outcome.failure.as_dict()]}
+
+    # ------------------------------------------------------------------
+    # Dedup resolution
+    # ------------------------------------------------------------------
+
+    def _resolve_followers(self, primary: Job, payload: Dict[str, Any],
+                           model: Optional[Dict[int, bool]] = None) -> None:
+        key = getattr(primary, "_dedup_key", None)
+        if key is None:
+            return
+        with self._lock:
+            followers = self._followers.pop(key, [])
+            if self._inflight.get(key) is primary:
+                del self._inflight[key]
+        if not followers:
+            return
+        bits = (model_to_bits(primary.fp, model)
+                if payload["status"] == SAT and model is not None else None)
+        for follower in followers:
+            shared = dict(payload)
+            shared["deduped_into"] = primary.id
+            if bits is not None:
+                # Same digest, possibly different node numbering: replay
+                # the model through the follower's own fingerprint.
+                follower_model = bits_to_model(follower.fp, bits)
+                from ..verify.certify import certify_sat_model
+                certificate = certify_sat_model(
+                    follower.request.circuit, follower_model,
+                    list(follower.request.circuit.outputs))
+                if not certificate.ok:
+                    # Should be unreachable (same fingerprint); degrade
+                    # honestly rather than serve an uncertified answer.
+                    shared = {"status": UNKNOWN, "model_size": 0,
+                              "engine": shared.get("engine"),
+                              "cached": False,
+                              "failures": [{
+                                  "kind": "CORRUPT_ANSWER",
+                                  "detail": "deduped model failed "
+                                            "re-certification: "
+                                            + certificate.detail,
+                                  "engine": shared.get("engine") or "",
+                                  "seconds": 0.0}]}
+                else:
+                    shared["model_size"] = len(follower_model)
+                    shared["model_inputs"] = input_assignment(
+                        follower.request.circuit, follower_model)
+            follower.add_event("job_done", status=shared["status"],
+                               deduped_into=primary.id)
+            follower.finish(shared)
+            with self._lock:
+                self.completed += 1
+
+    def _result_payload(self, job: Job, hit: Dict[str, Any],
+                        cached: bool) -> Dict[str, Any]:
+        model = hit.get("model")
+        provenance = hit.get("provenance") or {}
+        payload = {"status": hit["status"],
+                   "model_size": len(model) if model else 0,
+                   "engine": hit.get("engine"),
+                   "cached": cached,
+                   "cache_hits": hit.get("cache_hits"),
+                   "time_seconds": 0.0,
+                   "solved_time_seconds": provenance.get("time_seconds"),
+                   "stats": provenance.get("stats"),
+                   "failures": []}
+        if hit["status"] == SAT:
+            payload["model_inputs"] = input_assignment(
+                job.request.circuit, model)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {"submitted": self.submitted,
+                    "completed": self.completed,
+                    "rejected": self.rejected,
+                    "queued": len(self._queue),
+                    "running": self._running,
+                    "workers": len(self._threads),
+                    "closed": self._closed,
+                    "cache": self.cache.stats()}
+
+    def close(self, drain: bool = True,
+              timeout: Optional[float] = None) -> bool:
+        """Stop the scheduler.
+
+        ``drain=True`` (graceful): refuse new work, let queued + running
+        jobs finish.  ``drain=False``: additionally cancel everything
+        still queued (their jobs finish CANCELLED with a structured
+        payload).  Returns True once all worker threads exited.
+        """
+        with self._lock:
+            self._closed = True
+            if not drain:
+                cancelled = [job for _, _, job in self._queue]
+                self._queue.clear()
+            else:
+                cancelled = []
+            self._work.notify_all()
+        for job in cancelled:
+            key = getattr(job, "_dedup_key", None)
+            with self._lock:
+                followers = self._followers.pop(key, []) if key else []
+                if key and self._inflight.get(key) is job:
+                    del self._inflight[key]
+            for waiter in [job] + followers:
+                waiter.finish({"status": UNKNOWN, "model_size": 0,
+                               "engine": None, "cached": False,
+                               "failures": [{"kind": "LOST",
+                                             "detail": "cancelled at "
+                                                       "shutdown",
+                                             "engine": "", "seconds": 0.0}]},
+                              state=CANCELLED)
+        deadline = (time.monotonic() + timeout) if timeout is not None \
+            else None
+        ok = True
+        for thread in self._threads:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            thread.join(remaining)
+            ok = ok and not thread.is_alive()
+        return ok

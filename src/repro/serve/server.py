@@ -1,0 +1,352 @@
+"""Solver-as-a-service: a stdlib JSON-over-HTTP front end.
+
+The protocol is deliberately tiny (no dependencies, one JSON object per
+request/response) so any EDA tool with an HTTP client can drive it:
+
+``GET /health``
+    Liveness: ``{"ok": true, "version": ...}``.
+``GET /status``
+    Scheduler + cache statistics (queue depth, workers, hit rates).
+``POST /submit``
+    Body: ``{"circuit": <text>}`` or ``{"instance": <name>}`` plus
+    optional ``format`` (bench/aiger/dimacs; sniffed otherwise),
+    ``engine`` (csat/cnf/brute/bdd/cube), ``preset``, ``limits``
+    (``{"max_seconds": ..., "max_conflicts": ..., "max_decisions": ...}``),
+    ``priority``, ``label``, ``wait`` (seconds to block for the result),
+    ``cube_workers`` and ``fault`` (test-only fault injection).
+    Responds with the job snapshot; admission failures are structured
+    ``{"error": {"code", "message"}}`` with status 400 (bad request) or
+    503 (queue full / draining) — an invalid request is **never queued**.
+``GET /result/<job>?wait=<seconds>``
+    Poll or block for a job's result snapshot.
+``GET /events/<job>?since=<n>``
+    Incremental event stream (obs worker lifecycle + job lifecycle):
+    returns ``{"events": [...], "next": m}``; poll with ``since=m`` to
+    tail a running solve.
+``POST /shutdown``
+    Graceful drain (``{"drain": false}`` cancels the queue instead).
+
+Every worker failure crosses this protocol verbatim as the PR3 taxonomy
+(TIMEOUT / MEMOUT / CRASHED / CORRUPT_ANSWER / LOST) inside the result's
+``failures`` list — a crashed worker is an answered request, not a dead
+server.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from .. import __version__
+from ..circuit.source import read_circuit_text
+from ..errors import CircuitError, ParseError, ReproError, SolverError
+from ..result import Limits
+from .cache import AnswerCache
+from .fingerprint import fingerprint
+from .scheduler import (AdmissionError, JobRequest, REJECT_DRAINING,
+                        REJECT_QUEUE_FULL, SolveScheduler)
+
+#: Hard cap on how long one HTTP request may block waiting for a result;
+#: longer waits should poll (keeps worker-less proxies and tests honest).
+MAX_WAIT_SECONDS = 600.0
+
+#: Entries in the byte-identical parse memo (the L1 in front of the
+#: canonical fingerprint cache).
+PARSE_MEMO_ENTRIES = 256
+
+
+def _parse_limits(raw: Optional[Dict[str, Any]]) -> Optional[Limits]:
+    if not raw:
+        return None
+    if not isinstance(raw, dict):
+        raise SolverError("limits must be an object, got {!r}".format(raw))
+    unknown = set(raw) - {"max_seconds", "max_conflicts", "max_decisions"}
+    if unknown:
+        raise SolverError("unknown limits field(s): {}".format(
+            ", ".join(sorted(unknown))))
+    return Limits(max_conflicts=raw.get("max_conflicts"),
+                  max_decisions=raw.get("max_decisions"),
+                  max_seconds=raw.get("max_seconds")).validate()
+
+
+class ReproServer:
+    """Owns the scheduler, the cache, and the HTTP listener."""
+
+    def __init__(self,
+                 host: str = "127.0.0.1",
+                 port: int = 0,
+                 workers: int = 2,
+                 cache: Optional[AnswerCache] = None,
+                 max_queue: int = 64,
+                 mem_limit_mb: Optional[int] = None,
+                 grace_seconds: float = 1.0,
+                 certify: str = "sat",
+                 max_wall_seconds: Optional[float] = None,
+                 tracer=None):
+        self.scheduler = SolveScheduler(
+            workers=workers, cache=cache, max_queue=max_queue,
+            mem_limit_mb=mem_limit_mb, grace_seconds=grace_seconds,
+            certify=certify, max_wall_seconds=max_wall_seconds,
+            tracer=tracer)
+        self.tracer = tracer
+        server = self
+
+        class Handler(_ServeHandler):
+            repro_server = server
+
+        self.httpd = ThreadingHTTPServer((host, port), Handler)
+        self.httpd.daemon_threads = True
+        self.host, self.port = self.httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        # L1 parse memo: byte-identical request text skips parsing and
+        # fingerprinting (the dominant warm-path CPU).  Soundness is
+        # untouched — the answer cache still re-certifies every SAT model
+        # against this (identical) circuit before serving it.
+        self._parse_memo: "OrderedDict[Tuple[Optional[str], str], Any]" = \
+            OrderedDict()
+        self._parse_lock = threading.Lock()
+
+    def parse_request_circuit(self, text: str, label: str,
+                              fmt: Optional[str]):
+        """Parse + fingerprint request text, memoized on the exact bytes.
+
+        Returns ``(circuit, fingerprint)``.  The memo is keyed on
+        ``(format, text)`` so an explicit format override never collides
+        with a sniffed one; entries are LRU-bounded.
+        """
+        key = (fmt, text)
+        with self._parse_lock:
+            hit = self._parse_memo.get(key)
+            if hit is not None:
+                self._parse_memo.move_to_end(key)
+                return hit
+        circuit = read_circuit_text(text, name=label, fmt=fmt)
+        fp = fingerprint(circuit)
+        with self._parse_lock:
+            self._parse_memo[key] = (circuit, fp)
+            self._parse_memo.move_to_end(key)
+            while len(self._parse_memo) > PARSE_MEMO_ENTRIES:
+                self._parse_memo.popitem(last=False)
+        return circuit, fp
+
+    @property
+    def address(self) -> str:
+        return "http://{}:{}".format(self.host, self.port)
+
+    def start(self) -> "ReproServer":
+        """Serve in a background thread; returns self."""
+        if self.tracer is not None:
+            self.tracer.emit("serve_start", host=self.host, port=self.port,
+                             workers=self.scheduler.stats()["workers"])
+        self._thread = threading.Thread(target=self.httpd.serve_forever,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI's blocking mode)."""
+        if self.tracer is not None:
+            self.tracer.emit("serve_start", host=self.host, port=self.port,
+                             workers=self.scheduler.stats()["workers"])
+        try:
+            self.httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop(drain=True)
+
+    def stop(self, drain: bool = True,
+             timeout: Optional[float] = 30.0) -> None:
+        """Drain the scheduler, then stop listening (idempotent)."""
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        if self.tracer is not None:
+            self.tracer.emit("serve_drain", drain=drain)
+        self.scheduler.close(drain=drain, timeout=timeout)
+        self.httpd.shutdown()
+        self.httpd.server_close()
+
+    def request_shutdown(self, drain: bool = True) -> None:
+        """Asynchronous stop (used by POST /shutdown: respond, then die)."""
+        threading.Thread(target=self.stop, kwargs={"drain": drain},
+                         daemon=True).start()
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    """One HTTP request; all state lives on ``repro_server``."""
+
+    repro_server: ReproServer = None  # injected by ReproServer
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/" + __version__
+
+    # Silence the default stderr-per-request logging; the tracer is the
+    # observability channel.
+    def log_message(self, fmt, *args):  # noqa: D102
+        pass
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _send_json(self, code: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to clean up
+
+    def _error(self, code: int, err_code: str, message: str) -> None:
+        self._send_json(code, {"error": {"code": err_code,
+                                         "message": message}})
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return {}
+        raw = self.rfile.read(length)
+        data = json.loads(raw.decode("utf-8"))
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+    def _route(self) -> Tuple[str, Dict[str, str]]:
+        parsed = urlparse(self.path)
+        query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
+        return parsed.path.rstrip("/") or "/", query
+
+    # ------------------------------------------------------------------
+    # GET
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        path, query = self._route()
+        if path == "/health":
+            self._send_json(200, {"ok": True, "version": __version__})
+            return
+        if path == "/status":
+            self._send_json(200, {"ok": True,
+                                  "scheduler":
+                                      self.repro_server.scheduler.stats()})
+            return
+        if path.startswith("/result/"):
+            self._get_result(path[len("/result/"):], query)
+            return
+        if path.startswith("/events/"):
+            self._get_events(path[len("/events/"):], query)
+            return
+        self._error(404, "not-found", "unknown endpoint {}".format(path))
+
+    def _get_result(self, job_id: str, query: Dict[str, str]) -> None:
+        job = self.repro_server.scheduler.job(job_id)
+        if job is None:
+            self._error(404, "unknown-job",
+                        "no job {!r} on this server".format(job_id))
+            return
+        try:
+            wait = min(float(query.get("wait", 0) or 0), MAX_WAIT_SECONDS)
+        except ValueError:
+            self._error(400, "bad-request", "wait must be a number")
+            return
+        if wait > 0:
+            job.wait(wait)
+        self._send_json(200, job.snapshot())
+
+    def _get_events(self, job_id: str, query: Dict[str, str]) -> None:
+        job = self.repro_server.scheduler.job(job_id)
+        if job is None:
+            self._error(404, "unknown-job",
+                        "no job {!r} on this server".format(job_id))
+            return
+        try:
+            since = max(0, int(query.get("since", 0) or 0))
+        except ValueError:
+            self._error(400, "bad-request", "since must be an integer")
+            return
+        events = job.events[since:]
+        self._send_json(200, {"job": job.id, "state": job.state,
+                              "events": events, "next": since + len(events)})
+
+    # ------------------------------------------------------------------
+    # POST
+    # ------------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802
+        path, _ = self._route()
+        try:
+            body = self._read_body()
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._error(400, "bad-json", "malformed request body: "
+                        "{}".format(exc))
+            return
+        if path == "/submit":
+            self._post_submit(body)
+            return
+        if path == "/shutdown":
+            drain = bool(body.get("drain", True))
+            self._send_json(200, {"ok": True, "drain": drain})
+            self.repro_server.request_shutdown(drain=drain)
+            return
+        self._error(404, "not-found", "unknown endpoint {}".format(path))
+
+    def _post_submit(self, body: Dict[str, Any]) -> None:
+        text = body.get("circuit")
+        instance = body.get("instance")
+        if bool(text) == bool(instance):
+            self._error(400, "bad-request",
+                        "give exactly one of 'circuit' (text) or "
+                        "'instance' (a built-in name)")
+            return
+        label = str(body.get("label") or instance or "request")
+        fp = None
+        try:
+            if instance:
+                from ..bench.instances import instance_by_name
+                circuit = instance_by_name(str(instance)).build()
+            else:
+                circuit, fp = self.repro_server.parse_request_circuit(
+                    str(text), label, body.get("format"))
+        except (ParseError, CircuitError, ReproError) as exc:
+            self._error(400, "bad-circuit", str(exc))
+            return
+        try:
+            limits = _parse_limits(body.get("limits"))
+        except SolverError as exc:
+            self._error(400, "bad-limits", str(exc))
+            return
+        try:
+            priority = int(body.get("priority") or 0)
+            cube_workers = int(body.get("cube_workers") or 2)
+        except (TypeError, ValueError):
+            self._error(400, "bad-request",
+                        "priority and cube_workers must be integers")
+            return
+        request = JobRequest(
+            circuit=circuit, engine=str(body.get("engine") or "csat"),
+            preset=str(body.get("preset") or "explicit"), limits=limits,
+            priority=priority, label=label,
+            fault=body.get("fault"), cube_workers=cube_workers, fp=fp)
+        try:
+            job = self.repro_server.scheduler.submit(request)
+        except AdmissionError as exc:
+            status = (503 if exc.code in (REJECT_QUEUE_FULL,
+                                          REJECT_DRAINING) else 400)
+            self._send_json(status, {"error": exc.as_dict()})
+            return
+        try:
+            wait = min(float(body.get("wait") or 0), MAX_WAIT_SECONDS)
+        except (TypeError, ValueError):
+            self._error(400, "bad-request", "wait must be a number")
+            return
+        if wait > 0:
+            job.wait(wait)
+        self._send_json(200, job.snapshot())

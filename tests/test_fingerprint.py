@@ -1,0 +1,154 @@
+"""Tests for the canonical structural fingerprint (serve cache keys).
+
+The contract under test: the digest must be *invariant* under renaming,
+gate creation order, AND-fanin commutation, redundant structure, and
+dangling logic — and *sensitive* to any real structural change, a single
+inverter above all.  SAT models must round-trip through canonical input
+bits onto any circuit with the same digest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Circuit
+from repro.circuit.miter import miter
+from repro.csat.options import preset
+from repro.core.solver import CircuitSolver
+from repro.serve.fingerprint import (bits_to_model, fingerprint,
+                                     model_to_bits)
+from repro.serve.loadgen import renamed_copy
+from repro.verify.certify import certify_sat_model
+from conftest import build_full_adder, build_random_circuit
+
+
+def digest_of(circuit: Circuit) -> str:
+    return fingerprint(circuit).digest
+
+
+class TestInvariance:
+    def test_renamed_isomorphic_circuit_same_digest(self):
+        for seed in range(5):
+            c = build_random_circuit(seed)
+            assert digest_of(c) == digest_of(renamed_copy(c, "zz"))
+
+    def test_commuted_fanins_same_digest(self):
+        a = Circuit("a")
+        x, y = a.add_input("x"), a.add_input("y")
+        a.add_output(a.add_raw_and(x, y), "o")
+        b = Circuit("b")
+        x, y = b.add_input("x"), b.add_input("y")
+        b.add_output(b.add_raw_and(y, x), "o")
+        assert digest_of(a) == digest_of(b)
+
+    def test_gate_creation_order_irrelevant(self):
+        # (x & y) & (y & z), building the two inner gates in either order.
+        def build(inner_first: bool) -> Circuit:
+            c = Circuit("t", strash=False)
+            x, y, z = (c.add_input(n) for n in "xyz")
+            if inner_first:
+                g1 = c.add_raw_and(x, y)
+                g2 = c.add_raw_and(y, z)
+            else:
+                g2 = c.add_raw_and(y, z)
+                g1 = c.add_raw_and(x, y)
+            c.add_output(c.add_raw_and(g1, g2), "o")
+            return c
+        assert digest_of(build(True)) == digest_of(build(False))
+
+    def test_dangling_logic_ignored(self):
+        base = build_full_adder()
+        noisy = renamed_copy(base, "n")
+        # Dangling gate over a dangling input: outside every output cone.
+        extra = noisy.add_input("unused")
+        noisy.add_raw_and(extra, extra ^ 1)
+        assert digest_of(base) == digest_of(noisy)
+        assert fingerprint(noisy).num_inputs == fingerprint(base).num_inputs
+
+    def test_redundant_duplicate_gate_ignored(self):
+        a = Circuit("a", strash=False)
+        x, y = a.add_input("x"), a.add_input("y")
+        g1 = a.add_raw_and(x, y)
+        g2 = a.add_raw_and(x, y)     # structural duplicate
+        a.add_output(a.add_raw_and(g1, g2), "o")
+        b = Circuit("b")
+        x, y = b.add_input("x"), b.add_input("y")
+        b.add_output(b.add_and(x, y), "o")
+        assert digest_of(a) == digest_of(b)
+
+    def test_self_miter_collapses_to_constant(self):
+        core = build_random_circuit(3)
+        fp = fingerprint(miter(core, renamed_copy(core, "twin")))
+        assert fp.num_ands == 0
+        assert fp.num_inputs == 0
+
+
+class TestSensitivity:
+    def test_single_inverter_changes_digest(self):
+        def build(flip: int) -> Circuit:
+            c = Circuit("t")
+            x, y = c.add_input("x"), c.add_input("y")
+            c.add_output(c.add_and(x, y ^ flip), "o")
+            return c
+        assert digest_of(build(0)) != digest_of(build(1))
+
+    def test_output_inverter_changes_digest(self):
+        def build(flip: int) -> Circuit:
+            c = Circuit("t")
+            x, y = c.add_input("x"), c.add_input("y")
+            c.add_output(c.add_and(x, y) ^ flip, "o")
+            return c
+        assert digest_of(build(0)) != digest_of(build(1))
+
+    def test_distinct_structures_distinct_digests(self):
+        seen = {digest_of(build_random_circuit(seed, num_gates=40))
+                for seed in range(20)}
+        assert len(seen) == 20
+
+
+class TestModelTransfer:
+    def test_model_round_trip_onto_renamed_twin(self):
+        for seed in (1, 4, 9):
+            c = build_random_circuit(seed)
+            result = CircuitSolver(c, preset("explicit")).solve()
+            if result.status != "SAT":
+                continue
+            twin = renamed_copy(c, "tw")
+            bits = model_to_bits(fingerprint(c), result.model)
+            twin_model = bits_to_model(fingerprint(twin), bits)
+            cert = certify_sat_model(twin, twin_model, list(twin.outputs))
+            assert cert.ok, cert.detail
+
+    def test_bits_width_mismatch_raises(self):
+        fp = fingerprint(build_full_adder())
+        with pytest.raises(ValueError):
+            bits_to_model(fp, [0] * (fp.num_inputs + 1))
+
+    def test_unassigned_inputs_default_false(self):
+        fp = fingerprint(build_full_adder())
+        bits = model_to_bits(fp, {})
+        assert bits == [0] * fp.num_inputs
+
+
+class TestCli:
+    def test_fingerprint_file(self, tmp_path, capsys):
+        from repro.circuit.bench_io import write_bench
+        from repro.cli import main
+        path = tmp_path / "fa.bench"
+        path.write_text(write_bench(build_full_adder()))
+        assert main(["fingerprint", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert digest_of(build_full_adder()) in out
+
+    def test_fingerprint_instance_json(self, capsys):
+        import json
+        from repro.cli import main
+        assert main(["fingerprint", "--instance", "c1355.equiv",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["instance"] == "c1355.equiv"
+        assert len(doc["digest"]) == 32
+
+    def test_fingerprint_requires_one_source(self, capsys):
+        from repro.cli import main
+        assert main(["fingerprint"]) == 2
