@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Reject micro-benchmark regressions against the committed baseline.
+
+Compares a fresh ``pytest-benchmark`` run of ``benchmarks/bench_micro.py``
+against the repo's committed ``BENCH_micro.json`` and fails when any
+benchmark's median slowed down by more than the threshold.
+
+CI machines are not the machine the baseline was recorded on, so raw
+medians are incomparable.  The check is scale-invariant instead: compute
+the per-benchmark ratio ``current / baseline``, take the median ratio as
+the machine-speed factor, and flag benchmarks whose ratio exceeds that
+factor by more than ``--threshold`` (default 10%).  A uniform slowdown —
+slower CPU, colder cache — moves every ratio equally and trips nothing;
+a real regression moves one benchmark relative to its peers.
+
+Usage::
+
+    pytest benchmarks/bench_micro.py --benchmark-json=/tmp/bench.json
+    python benchmarks/check_regression.py /tmp/bench.json BENCH_micro.json
+
+Accepts either a raw pytest-benchmark dump or the trimmed
+``BENCH_micro.json`` schema on both sides.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from typing import Dict
+
+
+def load_medians(path: str) -> Dict[str, float]:
+    """Name -> median seconds, from either supported schema."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    medians: Dict[str, float] = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name")
+        median = bench.get("median")
+        if median is None:  # raw pytest-benchmark dump nests under stats
+            median = bench.get("stats", {}).get("median")
+        if name and median:
+            medians[name] = float(median)
+    if not medians:
+        raise SystemExit("no benchmark medians found in {}".format(path))
+    return medians
+
+
+def check(current: Dict[str, float], baseline: Dict[str, float],
+          threshold: float) -> int:
+    shared = sorted(set(current) & set(baseline))
+    if len(shared) < 2:
+        raise SystemExit("need >=2 shared benchmarks to normalize; "
+                         "got {}".format(shared))
+    ratios = {name: current[name] / baseline[name] for name in shared}
+    scale = statistics.median(ratios.values())
+    print("machine-speed factor (median ratio): {:.3f}".format(scale))
+
+    failures = 0
+    for name in shared:
+        relative = ratios[name] / scale
+        verdict = "ok"
+        if relative > 1.0 + threshold:
+            verdict = "REGRESSION"
+            failures += 1
+        print("  {:<44} base {:>9.4f}ms  now {:>9.4f}ms  "
+              "relative {:>6.2f}x  {}".format(
+                  name, baseline[name] * 1e3, current[name] * 1e3,
+                  relative, verdict))
+
+    for name in sorted(set(baseline) - set(current)):
+        print("  {:<44} MISSING from current run".format(name))
+        failures += 1
+    for name in sorted(set(current) - set(baseline)):
+        print("  {:<44} new (no baseline; ignored)".format(name))
+
+    if failures:
+        print("{} regression(s) beyond {:.0%} of the committed "
+              "baseline".format(failures, threshold))
+    else:
+        print("no regressions beyond {:.0%}".format(threshold))
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh benchmark JSON")
+    parser.add_argument("baseline", nargs="?", default="BENCH_micro.json",
+                        help="committed baseline (default: BENCH_micro.json)")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed relative median slowdown "
+                             "(default: 0.10)")
+    args = parser.parse_args(argv)
+    return check(load_medians(args.current), load_medians(args.baseline),
+                 args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

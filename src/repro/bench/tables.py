@@ -565,10 +565,49 @@ def table10(budget: Optional[float] = None) -> TableResult:
                        effort_text=_effort_table("table10", records))
 
 
+# ----------------------------------------------------------------------
+# Kernel table — flat-array backend vs the legacy engine (not in the
+# paper; the reproduction's own engineering claim)
+# ----------------------------------------------------------------------
+
+def kernel_table(budget: Optional[float] = None) -> TableResult:
+    """Flat kernel vs legacy C-SAT on the equivalence + VLIW instances.
+
+    Both backends run plain VSIDS search (no J-node, no correlation
+    learning), so the comparison isolates the data-structure rewrite.
+    The shape checks demand verdict agreement and a net speedup.
+    """
+    instances = EQUIV_INSTANCES + VLIW_INSTANCES[:2]
+    configs = {"csat": "csat", "kernel": "kernel"}
+    records = _run_matrix(instances, configs, budget)
+    rows = []
+    for i, inst in enumerate(instances):
+        legacy, kern = records["csat"][i], records["kernel"][i]
+        ratio = (legacy.seconds / kern.seconds
+                 if kern.seconds > 0 and not (legacy.aborted or kern.aborted)
+                 else None)
+        rows.append([inst.name, legacy.time_cell(), kern.time_cell(),
+                     "{:.1f}x".format(ratio) if ratio else "-"])
+    rows.append(total_row("Total", [records[c] for c in configs]))
+    text = render_table(
+        "Kernel: flat-array backend vs legacy engine (plain search)",
+        ["Circuit", "C-SAT", "Kernel", "Speedup"], rows,
+        ["* aborted at the per-run budget."])
+    s = speedup(records["csat"], records["kernel"])
+    checks = [
+        _status_consistent(records, instances),
+        ShapeCheck("flat kernel is faster than the legacy engine overall",
+                   s is not None and s > 1.0,
+                   "speedup {}".format(round(s, 2) if s else None)),
+    ]
+    return TableResult("kernel", "Flat kernel vs legacy", text, records,
+                       checks, effort_text=_effort_table("kernel", records))
+
+
 ALL_TABLES = {
     "table1": table1, "table2": table2, "table3": table3, "table4": table4,
     "table5": table5, "table6": table6, "table7": table7, "table8": table8,
-    "table9": table9, "table10": table10,
+    "table9": table9, "table10": table10, "kernel": kernel_table,
 }
 
 

@@ -65,7 +65,7 @@ from .errors import CircuitError, ParseError, SolverError
 from .result import Limits
 
 _PRESETS = ("csat", "csat-jnode", "implicit", "explicit", "explicit-pair",
-            "explicit-const")
+            "explicit-const", "kernel")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -309,7 +309,9 @@ def cmd_solve_cnf(args) -> int:
         result = CircuitSolver(circuit, preset(args.preset, **obs_kwargs)) \
             .solve(limits=_limits(args))
     else:
-        result = CnfSolver(formula, **obs_kwargs).solve(limits=_limits(args))
+        from .cnf.solver import make_solver
+        result = make_solver(formula, backend=args.backend,
+                             **obs_kwargs).solve(limits=_limits(args))
     _finish_trace(tracer)
     return _print_result(result, args.file, as_json=args.json)
 
@@ -800,6 +802,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--via-circuit", action="store_true",
                    help="convert to a 2-level circuit and use the circuit "
                         "solver (the paper's CNF path)")
+    p.add_argument("--backend", choices=("legacy", "kernel"),
+                   default="legacy",
+                   help="CDCL implementation: the legacy object-graph "
+                        "solver or the flat-array kernel")
     _add_common(p)
     _add_observability(p)
     p.set_defaults(func=cmd_solve_cnf)

@@ -2,7 +2,7 @@
 
 from .formula import CnfFormula, read_dimacs, write_dimacs
 from .preprocess import PreprocessResult, preprocess
-from .solver import CnfSolver, solve_formula
+from .solver import CnfSolver, make_solver, solve_formula
 
 __all__ = ["CnfFormula", "read_dimacs", "write_dimacs", "CnfSolver",
-           "solve_formula", "PreprocessResult", "preprocess"]
+           "make_solver", "solve_formula", "PreprocessResult", "preprocess"]

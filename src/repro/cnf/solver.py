@@ -735,8 +735,27 @@ class CnfSolver:
             self.progress(snapshot)
 
 
+def make_solver(formula: CnfFormula, backend: str = "legacy",
+                **solver_kwargs):
+    """Build a CNF solver: ``legacy`` (this module) or ``kernel``.
+
+    Both speak the same surface — ``solve(assumptions, limits)``,
+    ``stats``, ``check_invariants`` on the kernel — so callers can switch
+    with a string.  The kernel backend is the flat-array core in
+    :mod:`repro.kernel`.
+    """
+    if backend == "kernel":
+        from ..kernel.cnf import FlatCnfSolver
+        return FlatCnfSolver(formula, **solver_kwargs)
+    if backend == "legacy":
+        return CnfSolver(formula, **solver_kwargs)
+    raise SolverError("unknown CNF backend {!r}; choose 'legacy' or "
+                      "'kernel'".format(backend))
+
+
 def solve_formula(formula: CnfFormula,
                   limits: Optional[Limits] = None,
+                  backend: str = "legacy",
                   **solver_kwargs) -> SolverResult:
     """One-shot convenience wrapper: build a solver and solve."""
-    return CnfSolver(formula, **solver_kwargs).solve(limits=limits)
+    return make_solver(formula, backend, **solver_kwargs).solve(limits=limits)

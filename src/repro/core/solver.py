@@ -50,7 +50,13 @@ class CircuitSolver:
             proof = ProofLog()
         #: Optional repro.proof.ProofLog; see repro.proof for checking.
         self.proof = proof
-        self.engine = CSatEngine(circuit, self.options, proof=proof)
+        if self.options.backend == "kernel":
+            # Imported lazily so the legacy path never pays for the kernel
+            # package (and its optional numpy probe).
+            from ..kernel.circuit import KernelEngine
+            self.engine = KernelEngine(circuit, self.options, proof=proof)
+        else:
+            self.engine = CSatEngine(circuit, self.options, proof=proof)
         self.correlations: Optional[CorrelationSet] = None
         self.explicit_report: Optional[ExplicitReport] = None
         self._prepared = False

@@ -87,6 +87,11 @@ class SolverOptions:
         attached).
     """
 
+    # Search backend: "legacy" is the object-graph CSatEngine; "kernel" is
+    # the flat-array CDCL core (repro.kernel) — same verdicts, same
+    # certification, several times faster, but plain search only (the
+    # correlation-learning phases require the legacy engine).
+    backend: str = "legacy"
     # Decision engine.
     use_jnode: bool = True
     jnode_learned: bool = True
@@ -128,6 +133,14 @@ class SolverOptions:
     progress: Optional[Callable] = None
 
     def validate(self) -> None:
+        if self.backend not in ("legacy", "kernel"):
+            raise SolverError("backend must be 'legacy' or 'kernel'")
+        if self.backend == "kernel" and (self.use_jnode
+                                         or self.implicit_learning
+                                         or self.explicit_learning):
+            raise SolverError("the kernel backend is the plain search core: "
+                              "J-node decisions and correlation learning "
+                              "need backend='legacy'")
         if self.progress_interval < 0:
             raise SolverError("progress_interval must be >= 0")
         if self.explicit_order not in _ORDERINGS:
@@ -152,9 +165,11 @@ def preset(name: str, **overrides) -> SolverOptions:
     ``explicit``        + explicit learning, both correlation types (Table V)
     ``explicit-pair``   explicit learning on signal pairs only
     ``explicit-const``  explicit learning on vs-constant correlations only
+    ``kernel``          flat-array CDCL core (repro.kernel), plain search
     """
     presets = {
         "csat": SolverOptions(use_jnode=False),
+        "kernel": SolverOptions(backend="kernel", use_jnode=False),
         "csat-jnode": SolverOptions(use_jnode=True),
         "implicit": SolverOptions(use_jnode=True, implicit_learning=True),
         "explicit": SolverOptions(use_jnode=True, implicit_learning=True,

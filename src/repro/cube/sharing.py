@@ -97,7 +97,12 @@ def collect_csat_lemmas(engine: CSatEngine,
     Root-level trail units first (highest value: they permanently shrink
     every other cube's search), then binary learned clauses.  The
     constant node is skipped — its value is structural, not learned.
+
+    Works for both circuit engines — the legacy :class:`CSatEngine` and
+    the flat kernel's ``KernelEngine`` (same node-literal space).
     """
+    if hasattr(engine, "solver"):  # repro.kernel.circuit.KernelEngine
+        return _collect_kernel_lemmas(engine.solver, limit)
     frame = engine.frame
     lemmas: List[List[int]] = []
     for lit in frame.trail:
@@ -112,6 +117,26 @@ def collect_csat_lemmas(engine: CSatEngine,
             lemmas.append(list(clause))
             if len(lemmas) >= limit:
                 break
+    return lemmas
+
+
+def _collect_kernel_lemmas(solver, limit: int) -> List[List[int]]:
+    """Kernel flavour: root trail units + the recorded learned binaries."""
+    lemmas: List[List[int]] = []
+    level = solver.level
+    for idx in range(solver.trail_len):
+        lit = solver.trail[idx]
+        node = lit >> 1
+        if level[node] != 0:
+            break  # trail is level-ordered; root prefix ends here
+        if node != 0:
+            lemmas.append([lit])
+            if len(lemmas) >= limit:
+                return lemmas
+    for a, b in solver.learnt_binaries:
+        lemmas.append([a, b])
+        if len(lemmas) >= limit:
+            break
     return lemmas
 
 
@@ -163,7 +188,21 @@ def inject_csat_lemmas(engine: CSatEngine,
     :meth:`CSatEngine.add_learned_clause` requires.  An empty remainder
     means the shared knowledge already refutes the objectives: the
     engine is marked UNSAT.  Returns the number of clauses attached.
+
+    Accepts the legacy engine or the kernel's ``KernelEngine``; the
+    kernel path adds the lemmas as root clauses (its ``add_clause`` does
+    the same normalisation internally).
     """
+    if hasattr(engine, "solver"):  # repro.kernel.circuit.KernelEngine
+        solver = engine.solver
+        if solver.trail_lim:
+            raise ValueError("lemma injection requires decision level 0")
+        added = 0
+        for clause in clauses:
+            if not solver.ok or not solver.add_clause(list(clause)):
+                break
+            added += 1
+        return added
     if len(engine.frame.trail_lim) != 0:
         raise ValueError("lemma injection requires decision level 0")
     added = 0

@@ -1,0 +1,156 @@
+"""Word-parallel simulation on numpy lanes (optional accelerator).
+
+The paper's correlation discovery (Section III) simulates random patterns
+word-parallel; the portable implementation packs them into Python big
+ints (:mod:`repro.sim.bitsim`).  This module widens each round onto a
+``(num_nodes, lanes)`` uint64 matrix so one pass pushes ``64 * lanes``
+patterns through the netlist — wide enough rounds that the class
+refinement usually converges in a handful of them, feeding the same
+:class:`~repro.sim.correlation.CorrelationSet` the solvers consume.
+
+numpy is optional everywhere in this package: when it is missing,
+:data:`HAVE_NUMPY` is False and :func:`find_correlations_wide` falls
+back to the pure-Python discovery with an equivalent pattern budget.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+try:  # pragma: no cover - exercised via HAVE_NUMPY gating in tests
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+from ..circuit.netlist import Circuit
+from ..sim.correlation import CorrelationSet, find_correlations
+
+HAVE_NUMPY = _np is not None
+
+#: Default patterns per discovery round (64 uint64 lanes).
+WIDE_WIDTH = 4096
+
+
+def _compile_gates(circuit: Circuit) -> List[Tuple[int, int, int, int, int]]:
+    """Flatten the AND gates to (gate, fanin0, fanin1, inv0, inv1)."""
+    gates = []
+    for g in circuit.and_nodes():
+        f0, f1 = circuit.fanins(g)
+        gates.append((g, f0 >> 1, f1 >> 1, f0 & 1, f1 & 1))
+    return gates
+
+
+def simulate_lanes(circuit: Circuit, input_lanes, lanes: int):
+    """Simulate ``64 * lanes`` patterns at once on uint64 lanes.
+
+    ``input_lanes`` is a ``(num_inputs, lanes)`` uint64 array aligned with
+    ``circuit.inputs``.  Returns a ``(num_nodes, lanes)`` uint64 array;
+    the constant node 0 simulates to all-zero lanes.  Requires numpy.
+    """
+    if _np is None:  # pragma: no cover
+        raise RuntimeError("numpy is not available; check HAVE_NUMPY first")
+    vals = _np.zeros((circuit.num_nodes, lanes), dtype=_np.uint64)
+    for i, pi in enumerate(circuit.inputs):
+        vals[pi] = input_lanes[i]
+    for g, a, b, inv0, inv1 in _compile_gates(circuit):
+        va = vals[a]
+        vb = vals[b]
+        if inv0 and inv1:
+            # ~a & ~b == ~(a | b): one temporary instead of two.
+            _np.bitwise_or(va, vb, out=vals[g])
+            _np.invert(vals[g], out=vals[g])
+        elif inv0:
+            _np.bitwise_and(_np.invert(va), vb, out=vals[g])
+        elif inv1:
+            _np.bitwise_and(va, _np.invert(vb), out=vals[g])
+        else:
+            _np.bitwise_and(va, vb, out=vals[g])
+    return vals
+
+
+def random_input_lanes(circuit: Circuit, rng: random.Random, lanes: int):
+    """Seeded random ``(num_inputs, lanes)`` uint64 input matrix."""
+    if _np is None:  # pragma: no cover
+        raise RuntimeError("numpy is not available; check HAVE_NUMPY first")
+    rows = [[rng.getrandbits(64) for _ in range(lanes)]
+            for _ in circuit.inputs]
+    return _np.array(rows, dtype=_np.uint64).reshape(
+        (circuit.num_inputs, lanes))
+
+
+def find_correlations_wide(circuit: Circuit,
+                           seed: int = 1,
+                           width: int = WIDE_WIDTH,
+                           stall_rounds: int = 2,
+                           max_rounds: int = 32,
+                           max_class_size: int = 3,
+                           include_inputs: bool = False
+                           ) -> CorrelationSet:
+    """Correlation discovery with numpy-wide simulation rounds.
+
+    Same contract as :func:`repro.sim.correlation.find_correlations` —
+    candidate equivalence classes with per-member phases, constant class
+    first — but each round simulates ``width`` patterns on uint64 lanes,
+    so far fewer rounds are needed (hence the smaller default
+    ``stall_rounds``).  Falls back to the pure-Python path when numpy is
+    unavailable.
+    """
+    if _np is None:
+        return find_correlations(circuit, seed=seed, width=256,
+                                 stall_rounds=stall_rounds + 2,
+                                 max_rounds=max_rounds,
+                                 max_class_size=max_class_size,
+                                 include_inputs=include_inputs)
+    lanes = max(1, width // 64)
+    rng = random.Random(seed)
+    candidates = [0] + [n for n in circuit.nodes()
+                        if circuit.is_and(n)
+                        or (include_inputs and circuit.is_input(n))]
+    class_id: Dict[int, int] = {n: 0 for n in candidates}
+    phase: Dict[int, int] = {n: 0 for n in candidates}
+    num_classes = 1
+    first_round = True
+    stalled = 0
+    rounds = 0
+    ones = _np.uint64(0xFFFFFFFFFFFFFFFF)
+    while rounds < max_rounds and stalled < stall_rounds:
+        vals = simulate_lanes(circuit,
+                              random_input_lanes(circuit, rng, lanes),
+                              lanes)
+        rounds += 1
+        if first_round:
+            for n in candidates:
+                phase[n] = int(vals[n, 0]) & 1
+            first_round = False
+        groups: Dict[Tuple[int, bytes], List[int]] = {}
+        for n in candidates:
+            row = vals[n]
+            sig = (row ^ ones).tobytes() if phase[n] else row.tobytes()
+            groups.setdefault((class_id[n], sig), []).append(n)
+        if len(groups) != num_classes:
+            num_classes = len(groups)
+            stalled = 0
+        else:
+            stalled += 1
+        for new_id, members in enumerate(groups.values()):
+            for n in members:
+                class_id[n] = new_id
+
+    by_class: Dict[int, List[Tuple[int, int]]] = {}
+    for n in candidates:
+        by_class.setdefault(class_id[n], []).append((n, phase[n]))
+    classes: List[List[Tuple[int, int]]] = []
+    for members in by_class.values():
+        if len(members) < 2:
+            continue
+        members.sort()
+        has_const = members[0][0] == 0
+        if not has_const and len(members) > max_class_size:
+            continue
+        if has_const:
+            classes.insert(0, members)
+        else:
+            classes.append(members)
+    return CorrelationSet(classes=classes, rounds=rounds,
+                          patterns_simulated=rounds * lanes * 64)

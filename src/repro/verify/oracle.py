@@ -32,8 +32,9 @@ from ..result import Limits, SAT, SolverResult, UNKNOWN, UNSAT
 from ..sim.bitsim import exhaustive_input_words, simulate_words
 from .certify import Certificate, certify_result
 
-#: Presets exercised by default — every decision-engine configuration.
-DEFAULT_PRESETS = ("csat", "csat-jnode", "implicit", "explicit")
+#: Presets exercised by default — every decision-engine configuration plus
+#: the flat-array kernel backend.
+DEFAULT_PRESETS = ("csat", "csat-jnode", "implicit", "explicit", "kernel")
 
 #: An engine is a callable (circuit, objectives, limits) -> (result, proof).
 Engine = Callable[[Circuit, Sequence[int], Optional[Limits]],
@@ -94,6 +95,20 @@ def _cnf_engine(circuit: Circuit, objectives: Sequence[int],
     if result.status == SAT:
         # Translate CNF variables (node + 1) back to circuit node ids so the
         # shared circuit certifier can replay the model.
+        result.model = {var - 1: value for var, value in result.model.items()}
+    return result, proof
+
+
+def _kernel_cnf_engine(circuit: Circuit, objectives: Sequence[int],
+                       limits: Optional[Limits]):
+    """The flat kernel over the Tseitin encoding — a second kernel voter
+    that exercises the CNF adapter path rather than the gate compiler."""
+    from ..kernel.cnf import FlatCnfSolver
+    formula, _ = tseitin(circuit, objectives=list(objectives))
+    proof = ProofLog()
+    solver = FlatCnfSolver(formula, proof=proof)
+    result = solver.solve(limits=limits)
+    if result.status == SAT:
         result.model = {var - 1: value for var, value in result.model.items()}
     return result, proof
 
@@ -192,6 +207,7 @@ def differential_check(circuit: Circuit,
         (name, _circuit_engine(name)) for name in presets]
     if include_cnf:
         engines.append(("cnf", _cnf_engine))
+        engines.append(("kernel-cnf", _kernel_cnf_engine))
     for name, engine in (extra_engines or {}).items():
         engines.append((name, engine))
 

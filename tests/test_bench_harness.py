@@ -125,6 +125,7 @@ class TestTableUtilities:
 
 
 class TestTinyTableRun:
+    @pytest.mark.slow
     def test_table1_smoke_with_tiny_budget(self):
         """A 1-second budget exercises the full table pipeline; most runs
         abort, which must render as '*' without crashing."""

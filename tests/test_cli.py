@@ -239,6 +239,7 @@ class TestObservabilityCli:
         # must still parse and run clean.
         assert main(["solve", bench_file, "--progress", "1"]) == 10
 
+    @pytest.mark.slow
     def test_bench_json_export(self, tmp_path, capsys):
         import json
         out_path = str(tmp_path / "table.json")

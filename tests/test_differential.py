@@ -75,6 +75,7 @@ def test_generate_case_families_deterministic():
     assert report.ok and report.consensus == UNSAT
 
 
+@pytest.mark.slow
 def test_oracle_catches_injected_engine_bug_and_shrinks_small():
     """Acceptance: a deliberately broken engine is detected by the oracle
     and the failing case shrinks to a reproducer of at most 10 gates."""

@@ -96,6 +96,7 @@ class TestMiters:
 
 
 class TestCrossMiter:
+    @pytest.mark.slow
     def test_c499_vs_c1355_functional_twins(self):
         # The ISCAS relationship recreated: different structures, same
         # function, hence an UNSAT miter.

@@ -1,0 +1,220 @@
+"""Cross-engine differential soak: flat kernel vs the legacy engines.
+
+The legacy engines (csat, cnf, brute force, BDDs) are the kernel's
+oracle.  The quick tier runs a sample on every push; the ``slow``-marked
+soak drives 500+ seeded cases through direct comparisons and the full
+:func:`repro.verify.oracle.differential_check`.  On any mismatch the
+failing instance is shrunk (:mod:`repro.verify.shrink`) before the
+assertion fires, so the report carries a minimal reproducer.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.circuit.netlist import Circuit
+from repro.cnf.formula import CnfFormula
+from repro.cnf.solver import CnfSolver
+from repro.core.solver import CircuitSolver
+from repro.csat.options import preset
+from repro.kernel import FlatCnfSolver, KernelEngine
+from repro.result import SAT, UNSAT
+from repro.sim.bitsim import exhaustive_input_words, simulate_words
+from repro.verify.oracle import differential_check
+from repro.verify.shrink import shrink_circuit, shrink_clauses
+
+from conftest import build_random_circuit
+
+
+def _brute_status(circuit: Circuit, objectives) -> str:
+    words = exhaustive_input_words(circuit.num_inputs)
+    width = 1 << circuit.num_inputs
+    inputs = {pi: words[i] for i, pi in enumerate(circuit.inputs)}
+    vals = simulate_words(circuit, inputs, width)
+    mask = (1 << width) - 1
+    hits = mask
+    for obj in objectives:
+        hits &= vals[obj >> 1] ^ (mask if (obj & 1) else 0)
+    return SAT if hits else UNSAT
+
+
+def _kernel_status(circuit: Circuit, objectives) -> str:
+    return KernelEngine(circuit).solve(assumptions=list(objectives)).status
+
+
+def _check_circuit_case(circuit: Circuit) -> None:
+    """Kernel vs brute force on every output; shrink on mismatch."""
+    for out in circuit.outputs:
+        expected = _brute_status(circuit, [out])
+        got = _kernel_status(circuit, [out])
+        if got != expected:
+            def still_fails(sub: Circuit) -> bool:
+                try:
+                    return (_kernel_status(sub, [out])
+                            != _brute_status(sub, [out]))
+                except Exception:
+                    return False
+            small = shrink_circuit(circuit, still_fails)
+            pytest.fail(
+                "kernel={} brute={} on {} objective {}; shrunk reproducer: "
+                "{} gates, inputs={}, outputs={}".format(
+                    got, expected, circuit.name, out, small.num_ands,
+                    small.inputs, small.outputs))
+
+
+def _random_formula(rng: random.Random, max_vars: int = 14,
+                    max_clauses: int = 60) -> CnfFormula:
+    nv = rng.randint(2, max_vars)
+    nc = rng.randint(2, max_clauses)
+    clauses = []
+    for _ in range(nc):
+        k = min(rng.randint(1, 3), nv)
+        vs = rng.sample(range(1, nv + 1), k)
+        clauses.append([v if rng.random() < 0.5 else -v for v in vs])
+    return CnfFormula(num_vars=nv, clauses=clauses,
+                      name="soak{}".format(rng.random()))
+
+
+def _check_cnf_case(formula: CnfFormula,
+                    assumptions=()) -> None:
+    """FlatCnfSolver vs CnfSolver; ddmin the clause list on mismatch."""
+    a = FlatCnfSolver(formula).solve(assumptions=assumptions)
+    b = CnfSolver(formula).solve(assumptions=assumptions)
+    if a.status != b.status:
+        def still_fails(sub: CnfFormula) -> bool:
+            try:
+                return (FlatCnfSolver(sub).solve(assumptions=assumptions)
+                        .status
+                        != CnfSolver(sub).solve(assumptions=assumptions)
+                        .status)
+            except Exception:
+                return False
+        small = shrink_clauses(formula, still_fails)
+        pytest.fail("kernel={} legacy={}; shrunk reproducer: {}".format(
+            a.status, b.status, small.clauses))
+    if a.status == SAT:
+        for clause in formula.clauses:
+            assert any(a.model.get(abs(l), l > 0) == (l > 0)
+                       for l in clause), \
+                "kernel SAT model falsifies clause {}".format(clause)
+    if a.status == UNSAT and assumptions and a.core is not None:
+        assert set(a.core) <= set(assumptions)
+        assert FlatCnfSolver(formula).solve(
+            assumptions=a.core).status == UNSAT
+
+
+# ----------------------------------------------------------------------
+# Quick tier: a sample of each modality on every run
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(20))
+def test_kernel_vs_brute_quick(seed):
+    _check_circuit_case(build_random_circuit(seed))
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_kernel_cnf_vs_legacy_quick(seed):
+    rng = random.Random(1000 + seed)
+    for _ in range(5):
+        _check_cnf_case(_random_formula(rng))
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_kernel_joins_oracle_consensus(seed):
+    """The oracle's default preset list now includes the kernel; a full
+    differential check must reach consensus with it voting."""
+    report = differential_check(build_random_circuit(seed))
+    assert report.ok, report.summary()
+    names = [a.name for a in report.answers]
+    assert "kernel" in names and "kernel-cnf" in names
+
+
+def test_kernel_vs_legacy_assumption_cores_quick():
+    rng = random.Random(77)
+    for _ in range(25):
+        f = _random_formula(rng, max_vars=9, max_clauses=35)
+        assume = [v if rng.random() < 0.5 else -v
+                  for v in rng.sample(range(1, f.num_vars + 1),
+                                      rng.randint(1, f.num_vars))]
+        _check_cnf_case(f, assumptions=assume)
+
+
+# ----------------------------------------------------------------------
+# Soak tier (slow): the 500+ case net from the issue
+# ----------------------------------------------------------------------
+
+@pytest.mark.slow
+@pytest.mark.parametrize("block", range(10))
+def test_kernel_differential_soak_circuits(block):
+    """300 circuit cases (30 per block): kernel vs brute enumeration,
+    every output as an objective, shrinking on mismatch."""
+    for i in range(30):
+        seed = 10_000 + block * 30 + i
+        rng = random.Random(seed)
+        circuit = build_random_circuit(
+            seed,
+            num_inputs=rng.randint(2, 9),
+            num_gates=rng.randint(1, 60),
+            num_outputs=rng.randint(1, 3))
+        _check_circuit_case(circuit)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("block", range(5))
+def test_kernel_differential_soak_cnf(block):
+    """150 CNF cases (30 per block), half of them under assumptions."""
+    rng = random.Random(20_000 + block)
+    for i in range(30):
+        f = _random_formula(rng)
+        if i % 2:
+            assume = [v if rng.random() < 0.5 else -v
+                      for v in rng.sample(range(1, f.num_vars + 1),
+                                          rng.randint(1, f.num_vars))]
+            _check_cnf_case(f, assumptions=assume)
+        else:
+            _check_cnf_case(f)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("block", range(5))
+def test_kernel_differential_soak_oracle(block):
+    """60 full oracle runs (12 per block): kernel + kernel-cnf vote
+    alongside legacy csat presets, cnf, brute, BDD, and cube."""
+    for i in range(12):
+        seed = 30_000 + block * 12 + i
+        rng = random.Random(seed)
+        circuit = build_random_circuit(
+            seed,
+            num_inputs=rng.randint(3, 7),
+            num_gates=rng.randint(5, 40),
+            num_outputs=rng.randint(1, 2))
+        report = differential_check(circuit)
+        if not report.ok:
+            def still_fails(sub: Circuit) -> bool:
+                try:
+                    return not differential_check(sub).ok
+                except Exception:
+                    return False
+            small = shrink_circuit(circuit, still_fails)
+            pytest.fail("oracle split on seed {}: {}; shrunk to {} gates"
+                        .format(seed, report.summary(), small.num_ands))
+
+
+@pytest.mark.slow
+def test_kernel_vs_legacy_csat_trajectories():
+    """Kernel vs the legacy csat preset (not just brute) on 50 larger
+    circuits — catches disagreements brute force is too small to see."""
+    for seed in range(40_000, 40_050):
+        rng = random.Random(seed)
+        circuit = build_random_circuit(
+            seed, num_inputs=rng.randint(8, 16),
+            num_gates=rng.randint(40, 150), num_outputs=2)
+        for out in circuit.outputs:
+            kernel = _kernel_status(circuit, [out])
+            legacy = CircuitSolver(circuit, preset("csat")).solve(
+                objectives=[out]).status
+            assert kernel == legacy, \
+                "seed {} objective {}: kernel={} legacy={}".format(
+                    seed, out, kernel, legacy)

@@ -213,6 +213,7 @@ class TestAdmission:
             sched.submit(JobRequest(circuit=build_full_adder()))
         assert exc.value.code == "draining"
 
+    @pytest.mark.slow
     def test_queue_full_rejected(self):
         sched = SolveScheduler(workers=1, cache=AnswerCache(), max_queue=1)
         try:
@@ -241,6 +242,7 @@ class TestScheduling:
         assert sat_job.result["model_inputs"]  # actionable assignment
         assert unsat_job.result["status"] == UNSAT
 
+    @pytest.mark.slow
     def test_identical_inflight_work_deduped(self):
         sched = SolveScheduler(workers=1, cache=AnswerCache())
         try:
@@ -264,6 +266,7 @@ class TestScheduling:
         finally:
             sched.close(drain=False, timeout=15)
 
+    @pytest.mark.slow
     def test_higher_priority_runs_first(self):
         sched = SolveScheduler(workers=1, cache=AnswerCache())
         try:
@@ -304,6 +307,7 @@ class TestScheduling:
         assert job.wait(30)
         assert job.result["failures"][0]["kind"] == TIMEOUT
 
+    @pytest.mark.slow
     def test_close_without_drain_cancels_queue(self):
         sched = SolveScheduler(workers=1, cache=AnswerCache())
         blocker = sched.submit(JobRequest(
