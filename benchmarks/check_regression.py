@@ -48,6 +48,36 @@ def load_medians(path: str) -> Dict[str, float]:
     return medians
 
 
+def environment_warnings(path: str) -> None:
+    """Warn when the baseline's recorded environment is not this machine.
+
+    The scale-invariant ratio check absorbs uniform speed differences,
+    but cross-architecture or cross-interpreter comparisons can skew
+    individual benchmarks; surface that so a tripped threshold can be
+    judged against the hardware delta instead of taken at face value.
+    """
+    with open(path) as fh:
+        doc = json.load(fh)
+    recorded = doc.get("environment")
+    if not isinstance(recorded, dict):
+        return
+    import os
+    import sys as _sys
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+    try:
+        from repro.obs.export import environment_info
+    except ImportError:
+        return
+    here = environment_info()
+    for key in ("python", "platform", "machine", "cpu_count", "cpu_model",
+                "numpy"):
+        then, now = recorded.get(key), here.get(key)
+        if then is not None and now is not None and then != now:
+            print("warning: baseline {} was {!r}, this machine has {!r} "
+                  "— medians are only comparable after "
+                  "normalization".format(key, then, now), file=_sys.stderr)
+
+
 def check(current: Dict[str, float], baseline: Dict[str, float],
           threshold: float) -> int:
     shared = sorted(set(current) & set(baseline))
@@ -93,6 +123,7 @@ def main(argv=None) -> int:
                         help="allowed relative median slowdown "
                              "(default: 0.10)")
     args = parser.parse_args(argv)
+    environment_warnings(args.baseline)
     return check(load_medians(args.current), load_medians(args.baseline),
                  args.threshold)
 

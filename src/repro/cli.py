@@ -577,20 +577,36 @@ def cmd_bench(args) -> int:
 
 def cmd_trace(args) -> int:
     import json
-    from .obs.summary import summarize_trace
+    from .obs.summary import build_span_tree, read_trace, summarize_events
+    skipped: List[int] = []
     try:
-        summary = summarize_trace(args.file, bins=args.bins, top=args.top)
+        events = list(read_trace(args.file, skipped=skipped))
+        summary = summarize_events(events, path=args.file,
+                                   bins=args.bins, top=args.top)
     except (OSError, ValueError) as exc:
         print("cannot summarize {}: {}".format(args.file, exc),
               file=sys.stderr)
         return 2
+    if skipped:
+        print("warning: skipped {} malformed line(s) "
+              "(first at line {})".format(len(skipped), skipped[0]),
+              file=sys.stderr)
     if summary.events == 0:
         print("empty trace: {}".format(args.file), file=sys.stderr)
         return 2
+    tree = build_span_tree(events)
     if args.json:
-        print(json.dumps(summary.as_dict(), indent=2))
+        doc = summary.as_dict()
+        if tree.spans:
+            doc["spans"] = tree.as_dict()
+        if skipped:
+            doc["skipped_lines"] = len(skipped)
+        print(json.dumps(doc, indent=2))
     else:
         print(summary.format())
+        if tree.spans:
+            print()
+            print(tree.format())
     return 0
 
 
@@ -698,6 +714,43 @@ def cmd_submit(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    import json
+    from urllib.error import URLError
+    from urllib.request import urlopen
+    from .obs.metrics import parse_exposition
+    url = "http://{}:{}{}".format(args.host, args.port, args.path)
+    try:
+        with urlopen(url, timeout=args.timeout) as resp:
+            text = resp.read().decode("utf-8")
+    except (URLError, OSError) as exc:
+        print("error: cannot scrape {}: {}".format(url, exc),
+              file=sys.stderr)
+        return 2
+    if args.raw:
+        sys.stdout.write(text)
+        return 0
+    try:
+        families = parse_exposition(text)
+    except ValueError as exc:
+        print("invalid exposition from {}: {}".format(url, exc),
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(families, indent=2, sort_keys=True))
+        return 0
+    for name in sorted(families):
+        family = families[name]
+        print("{} ({})".format(name, family["type"]))
+        for sample_name, labels, value in family["samples"]:
+            label_text = ",".join(
+                "{}={}".format(k, v) for k, v in sorted(labels.items()))
+            print("  {}{}{}{}  {}".format(
+                sample_name, "{" if label_text else "", label_text,
+                "}" if label_text else "", value))
+    return 0
+
+
 def cmd_serve_bench(args) -> int:
     from .serve.loadgen import export_serve_bench, serve_bench_document
     try:
@@ -720,6 +773,23 @@ def cmd_serve_bench(args) -> int:
     if args.json:
         export_serve_bench(document, args.json)
         print("wrote {}".format(args.json))
+    if args.slo:
+        from .obs.export import export_slo
+        from .serve.loadgen import slo_bench_document
+        slo = slo_bench_document(
+            seed=args.seed, requests=args.requests,
+            workers=max(workers_list), concurrency=args.concurrency,
+            max_seconds=args.budget,
+            differential=not args.no_differential)
+        for name, entry in slo["classes"].items():
+            print("slo {:11s}  p50={:8.2f}ms p95={:8.2f}ms "
+                  "p99={:8.2f}ms  errors={}/{} budget_used={}".format(
+                      name, entry["p50_ms"], entry["p95_ms"],
+                      entry["p99_ms"], entry["errors"],
+                      entry["requests"], entry["error_budget_used"]))
+        export_slo(slo, args.slo)
+        print("wrote {}".format(args.slo))
+        document["ok"] = document["ok"] and slo["ok"]
     return 0 if document["ok"] else 1
 
 
@@ -985,7 +1055,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", metavar="FILE", default=None,
                    help="write the benchmark document here "
                         "(BENCH_serve.json)")
+    p.add_argument("--slo", metavar="FILE", default=None,
+                   help="also run one cold SLO pass and write the "
+                        "per-workload-class report here (BENCH_slo.json)")
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser("metrics",
+                       help="scrape a running node's /metrics endpoint "
+                            "and pretty-print it")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--path", default="/metrics",
+                   help="endpoint path (default /metrics)")
+    p.add_argument("--timeout", type=float, default=10.0)
+    p.add_argument("--raw", action="store_true",
+                   help="print the text exposition verbatim")
+    p.add_argument("--json", action="store_true",
+                   help="print the parsed families as JSON")
+    p.set_defaults(func=cmd_metrics)
     return parser
 
 

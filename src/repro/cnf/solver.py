@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..errors import SolverError
 from ..obs import PhaseTimers, ProgressSnapshot, complete_phases, make_tracer
+from ..obs.metrics import default_registry, observe_solve
 from ..result import Limits, SAT, SolverResult, SolverStats, UNKNOWN, UNSAT
 from .formula import CnfFormula
 
@@ -519,6 +520,10 @@ class CnfSolver:
             tracer.emit("solve_end", status=status, seconds=round(elapsed, 6),
                         phases={phase: round(seconds, 6) for phase, seconds
                                 in result.phase_seconds.items()})
+        registry = default_registry()
+        if registry is not None:
+            # Once per solve() call, never inside the search loop.
+            observe_solve(registry, "cnf", status, elapsed, result.stats)
         if self.certify:
             self._certify(result, assumptions)
         return result

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..circuit.netlist import Circuit
 from ..errors import SolverError
 from ..obs import PhaseTimers, ProgressSnapshot, complete_phases, make_tracer
+from ..obs.metrics import default_registry, observe_solve
 from ..result import Limits, SAT, SolverResult, SolverStats, UNKNOWN, UNSAT
 from .frame import Frame, NO_REASON, UNASSIGNED
 from .options import SolverOptions
@@ -807,6 +808,11 @@ class CSatEngine:
             tracer.emit("solve_end", status=status, seconds=round(elapsed, 6),
                         phases={phase: round(seconds, 6) for phase, seconds
                                 in result.phase_seconds.items()})
+        registry = default_registry()
+        if registry is not None:
+            # Once per solve() call, never inside the search loop: the
+            # stats delta feeds the counters, rates fall out at scrape.
+            observe_solve(registry, "csat", status, elapsed, result.stats)
         return result
 
     def _note_backjump(self, jump_length: int) -> bool:

@@ -53,6 +53,8 @@ from ..runtime.supervisor import (CERTIFY_FULL, CERTIFY_LEVELS, CERTIFY_SAT,
                                   WorkerHandle, spawn_worker)
 from ..runtime.worker import KIND_CNF, KIND_CSAT, WorkerJob
 from ..obs import make_tracer
+from ..obs.context import child_context, context_of
+from ..obs.metrics import default_registry
 from ..sim.correlation import find_correlations
 from .cutter import Cube, CutterOptions, generate_cubes
 from .sharing import SharedKnowledge, serialize_classes
@@ -219,6 +221,15 @@ def solve_cubes(circuit: Circuit,
     # a Tracer instance stays owned by the caller.
     from ..obs import Tracer as _Tracer
     owns_tracer = tracer is not None and not isinstance(trace, _Tracer)
+    span_ctx = None
+    if tracer is not None:
+        # Bind a cube-phase span (child of the caller's span, or a fresh
+        # root) so worker sub-spans correlate back to this conquest.
+        span_ctx = child_context(context_of(tracer))
+        tracer.context = span_ctx
+        fields = span_ctx.as_fields()
+        fields.update(name="cube", workers=workers)
+        tracer.emit("span_start", **fields)
 
     if objectives is None:
         objectives = list(circuit.outputs)
@@ -275,8 +286,22 @@ def solve_cubes(circuit: Circuit,
                         cubes=len(report.cubes), pruned=report.pruned,
                         lemmas=report.lemmas_shared,
                         seconds=round(report.elapsed, 6))
+            if span_ctx is not None:
+                tracer.emit("span_end", span=span_ctx.span_id,
+                            status=result.status)
             if owns_tracer:
                 tracer.close()
+        registry = default_registry()
+        if registry is not None:
+            cube_total = registry.counter(
+                "repro_cube_total", "Cube outcomes by final status",
+                labelnames=("status",))
+            for outcome in report.cubes:
+                cube_total.labels(status=outcome.status).inc()
+            registry.counter(
+                "repro_cube_lemmas_shared_total",
+                "Lemmas exchanged between cube workers",
+            ).inc(report.lemmas_shared)
         return report
 
     if cube_set.trivial is not None:
@@ -523,6 +548,14 @@ def _conquer_workers(circuit, objectives, cube_set, kind, preset_name,
                             tracer.emit("worker_retry", engine=failure.engine,
                                         attempt=handle.attempt + 1,
                                         after=failure.kind)
+                        registry = default_registry()
+                        if registry is not None:
+                            registry.counter(
+                                "repro_cube_retries_total",
+                                "Cube worker attempts requeued after a "
+                                "retryable failure",
+                                labelnames=("after",),
+                            ).labels(after=failure.kind).inc()
                         pending.appendleft((handle.cube, handle.attempt + 1))
             active = still_active
             if win_result is not None:

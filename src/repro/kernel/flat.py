@@ -48,6 +48,7 @@ from typing import List, Optional, Sequence
 
 from ..errors import SolverError
 from ..obs import PhaseTimers, ProgressSnapshot, complete_phases, make_tracer
+from ..obs.metrics import default_registry, observe_solve
 from ..result import Limits, SAT, SolverResult, SolverStats, UNKNOWN, UNSAT
 
 #: ``reason[var]`` sentinel: decision, assumption, or unassigned.
@@ -624,6 +625,8 @@ class FlatSolver:
 
     def _record_learnt(self, learnt: List[int], bt_level: int,
                        lbd: int) -> None:
+        self._bj_sum += len(self.trail_lim) - bt_level
+        self._bj_count += 1
         self._cancel_until(bt_level)
         if len(learnt) > 2:
             # Slot 1 must hold a bt_level literal so backtracking past it
@@ -705,6 +708,8 @@ class FlatSolver:
         timers = self.timers
         timer_snap = timers.snapshot() if timers is not None else None
         self._last_progress = (start, self.stats.conflicts)
+        self._bj_sum = 0
+        self._bj_count = 0
         if tracer is not None:
             tracer.emit("solve_start", assumptions=len(assume),
                         learned_db=len(self.learnts) + self.n_bin_learnt)
@@ -743,7 +748,26 @@ class FlatSolver:
             tracer.emit("solve_end", status=status, seconds=round(elapsed, 6),
                         phases={phase: round(seconds, 6) for phase, seconds
                                 in result.phase_seconds.items()})
+        registry = default_registry()
+        if registry is not None:
+            # Once per solve() call, never inside the search loop.
+            observe_solve(registry, "kernel", status, elapsed, result.stats,
+                          tiers=self._tier_sizes())
         return result
+
+    def _tier_sizes(self) -> dict:
+        """Current learned-clause DB size per LBD tier (binaries are
+        kept forever alongside the core tier)."""
+        core = mid = local = 0
+        for lbd in self.cla_lbd.values():
+            if lbd <= LBD_CORE:
+                core += 1
+            elif lbd <= LBD_MID:
+                mid += 1
+            else:
+                local += 1
+        return {"core": core + self.n_bin_learnt, "mid": mid,
+                "local": local}
 
     def _search(self, assume: List[int], limits: Limits,
                 start: float) -> str:
@@ -1041,7 +1065,9 @@ class FlatSolver:
             learned_db=len(self.learnts) + self.n_bin_learnt,
             trail_depth=self.trail_len,
             decision_level=len(self.trail_lim),
-            conflict_rate=rate, avg_backjump=0.0)
+            conflict_rate=rate,
+            avg_backjump=(self._bj_sum / self._bj_count
+                          if self._bj_count else 0.0))
         if self.tracer is not None:
             self.tracer.emit("progress", **snapshot.as_dict())
         if self.progress is not None:

@@ -1,0 +1,70 @@
+"""Trace correlation: trace/span identifiers that cross process lines.
+
+A *trace* is one logical operation end to end — a served request, a cube
+run, a portfolio race.  A *span* is one timed piece of it owned by one
+component: the serve job, the supervisor's worker, the cube driver, an
+engine solve.  Spans form a tree through ``parent`` links, and because
+the identifiers are plain strings they survive pickling into a
+:class:`~repro.runtime.worker.WorkerJob` and travel into subprocess
+workers, whose own JSONL trace files the supervisor merges back into the
+parent trace (see :mod:`repro.runtime.supervisor`).
+
+Wire format (JSONL trace events)::
+
+    {"kind": "span_start", "trace": <trace_id>, "span": <span_id>,
+     "parent": <span_id or absent>, "name": <component>, ...}
+    {"kind": "span_end", "span": <span_id>, ...}
+
+Every event emitted by a tracer with a bound context additionally
+carries ``"span": <span_id>``, which is how ``repro trace`` attaches
+engine events to the worker span that produced them.
+"""
+
+from __future__ import annotations
+
+import os
+import binascii
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+def new_id() -> str:
+    """A fresh 64-bit hex identifier (random, not time-derived)."""
+    return binascii.hexlify(os.urandom(8)).decode("ascii")
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """One span's identity: immutable, picklable, JSON-trivial."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+    @classmethod
+    def new_root(cls) -> "SpanContext":
+        return cls(trace_id=new_id(), span_id=new_id())
+
+    def child(self) -> "SpanContext":
+        """A new span under this one, same trace."""
+        return SpanContext(trace_id=self.trace_id, span_id=new_id(),
+                           parent_id=self.span_id)
+
+    def as_fields(self) -> Dict[str, Any]:
+        """The ``span_start`` identity fields."""
+        fields: Dict[str, Any] = {"trace": self.trace_id,
+                                  "span": self.span_id}
+        if self.parent_id is not None:
+            fields["parent"] = self.parent_id
+        return fields
+
+
+def child_context(parent: Optional[SpanContext]) -> SpanContext:
+    """A child of ``parent``, or a fresh root when there is none."""
+    return parent.child() if parent is not None else SpanContext.new_root()
+
+
+def context_of(tracer: Any) -> Optional[SpanContext]:
+    """The span context bound to a tracer, if any (duck-typed: any
+    tracer-like object may expose ``.context``)."""
+    return getattr(tracer, "context", None)

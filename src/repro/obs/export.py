@@ -20,6 +20,7 @@ writes ``BENCH_micro.json`` (default) from a pytest-benchmark dump, and
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 from typing import Any, Dict, List, Optional
@@ -28,13 +29,43 @@ from typing import Any, Dict, List, Optional
 SCHEMA_VERSION = 1
 
 
-def environment_info() -> Dict[str, str]:
-    """The fields needed to judge whether two measurements are comparable."""
+def _cpu_model() -> Optional[str]:
+    """Best-effort CPU model string (Linux /proc/cpuinfo; else
+    platform.processor)."""
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or None
+
+
+def _numpy_version() -> Optional[str]:
+    try:
+        import numpy
+        return numpy.__version__
+    except ImportError:
+        return None
+
+
+def environment_info() -> Dict[str, Any]:
+    """The fields needed to judge whether two measurements are comparable.
+
+    ``cpu_count``/``cpu_model``/``numpy`` matter most: a benchmark run
+    on different silicon, a different core count, or with/without the
+    vectorized simulation path is not comparable, and
+    ``benchmarks/check_regression.py`` warns when they differ.
+    """
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "cpu_model": _cpu_model(),
+        "numpy": _numpy_version(),
     }
 
 
@@ -90,6 +121,49 @@ def table_document(table_result) -> Dict[str, Any]:
 def export_table(table_result, out_path: str) -> Dict[str, Any]:
     """Write one paper-table run as JSON; returns the document."""
     document = table_document(table_result)
+    _write(document, out_path)
+    return document
+
+
+def slo_document(classes: Dict[str, Dict[str, Any]],
+                 objective: float = 0.99,
+                 **extra: Any) -> Dict[str, Any]:
+    """The ``BENCH_slo.json`` shape: per-workload-class SLO numbers.
+
+    ``classes`` maps class name -> point dict carrying at least
+    ``requests``/``errors``/``p50_ms``/``p95_ms``/``p99_ms`` (the load
+    generator's :meth:`~repro.serve.loadgen.LoadReport.slo_classes`
+    produces exactly this).  ``objective`` is the availability target
+    the error budget is measured against: with objective 0.99 a class
+    has a budget of 1% errors, and ``error_budget_used`` reports the
+    fraction of that budget its measured error rate consumed (>1 means
+    the SLO was violated).
+    """
+    out_classes: Dict[str, Dict[str, Any]] = {}
+    for name, point in sorted(classes.items()):
+        requests = point.get("requests", 0) or 0
+        errors = point.get("errors", 0) or 0
+        error_rate = errors / requests if requests else 0.0
+        budget = 1.0 - objective
+        entry = dict(point)
+        entry["error_rate"] = round(error_rate, 6)
+        entry["error_budget_used"] = (round(error_rate / budget, 4)
+                                      if budget > 0 else None)
+        out_classes[name] = entry
+    document = {
+        "schema": SCHEMA_VERSION,
+        "kind": "bench_slo",
+        "objective": objective,
+        "environment": environment_info(),
+        "classes": out_classes,
+    }
+    document.update(extra)
+    return document
+
+
+def export_slo(document: Dict[str, Any],
+               out_path: str = "BENCH_slo.json") -> Dict[str, Any]:
+    """Write one SLO report (see :func:`slo_document`)."""
     _write(document, out_path)
     return document
 

@@ -15,11 +15,21 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 
-def read_trace(path: str) -> Iterator[Dict[str, Any]]:
-    """Yield trace events; malformed lines raise ``ValueError`` with the
-    line number (a truncated final line — killed run — is tolerated)."""
+def read_trace(path: str,
+               skipped: Optional[List[int]] = None
+               ) -> Iterator[Dict[str, Any]]:
+    """Yield trace events, skipping malformed lines.
+
+    A worker killed mid-write leaves a torn (partial) line — in the
+    middle of a merged trace, not only at the end — and such lines are
+    *skipped*, not fatal: their line numbers are appended to ``skipped``
+    (when given) so callers can print a counted warning.  Only a file
+    with at least one line and **no** valid record raises ``ValueError``
+    ("not a trace file").
+    """
+    yielded = False
+    bad_first: Optional[int] = None
     with open(path) as fh:
-        previous = None
         for lineno, line in enumerate(fh, 1):
             line = line.strip()
             if not line:
@@ -27,13 +37,20 @@ def read_trace(path: str) -> Iterator[Dict[str, Any]]:
             try:
                 event = json.loads(line)
             except json.JSONDecodeError:
-                if previous is not None:
-                    # A torn final write is expected from an aborted run.
-                    break
-                raise ValueError(
-                    "not a trace file: line {} is not JSON".format(lineno))
-            previous = event
+                event = None
+            if not isinstance(event, dict):
+                # Torn write or stray text; JSON that is not an object
+                # counts too (events are always objects).
+                if bad_first is None:
+                    bad_first = lineno
+                if skipped is not None:
+                    skipped.append(lineno)
+                continue
+            yielded = True
             yield event
+    if not yielded and bad_first is not None:
+        raise ValueError(
+            "not a trace file: line {} is not JSON".format(bad_first))
 
 
 @dataclass
@@ -189,3 +206,137 @@ def _timeline(conflict_times: List[float], duration: float,
 def summarize_trace(path: str, bins: int = 10, top: int = 10) -> TraceSummary:
     """Read and summarize one JSONL trace file."""
     return summarize_events(read_trace(path), path=path, bins=bins, top=top)
+
+
+# ----------------------------------------------------------------------
+# Span-tree reconstruction (cross-process trace correlation)
+# ----------------------------------------------------------------------
+
+@dataclass
+class SpanNode:
+    """One reconstructed span of a trace tree."""
+
+    span_id: str
+    name: str = "?"
+    trace_id: Optional[str] = None
+    parent_id: Optional[str] = None
+    start: Optional[float] = None
+    end: Optional[float] = None
+    status: Optional[str] = None
+    events: int = 0                      # events stamped with this span
+    fields: Dict[str, Any] = field(default_factory=dict)
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def seconds(self) -> Optional[float]:
+        if self.start is None or self.end is None:
+            return None
+        return max(0.0, self.end - self.start)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"span": self.span_id, "name": self.name,
+                "trace": self.trace_id, "parent": self.parent_id,
+                "start": self.start, "end": self.end,
+                "seconds": self.seconds, "status": self.status,
+                "events": self.events, "fields": dict(self.fields),
+                "children": [c.as_dict() for c in self.children]}
+
+
+@dataclass
+class SpanTree:
+    """Every span tree found in one trace file."""
+
+    roots: List[SpanNode] = field(default_factory=list)
+    spans: int = 0
+    #: Events carrying a span id that no span_start declared.
+    orphan_events: int = 0
+    trace_ids: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"spans": self.spans, "orphan_events": self.orphan_events,
+                "trace_ids": list(self.trace_ids),
+                "roots": [r.as_dict() for r in self.roots]}
+
+    def format(self) -> str:
+        lines = ["span tree: {} span(s), trace(s) {}".format(
+            self.spans, ", ".join(self.trace_ids) or "-")]
+
+        def walk(node: SpanNode, depth: int) -> None:
+            seconds = node.seconds
+            timing = "{:.3f}s".format(seconds) if seconds is not None \
+                else "open"
+            status = " {}".format(node.status) if node.status else ""
+            lines.append("{}{} [{}] {} ({} events{})".format(
+                "  " * (depth + 1), node.name, node.span_id[:8], timing,
+                node.events, status))
+            for child in node.children:
+                walk(child, depth + 1)
+
+        for root in self.roots:
+            walk(root, 0)
+        if self.orphan_events:
+            lines.append("  ({} event(s) referenced unknown spans)".format(
+                self.orphan_events))
+        return "\n".join(lines)
+
+
+def build_span_tree(events: Iterable[Dict[str, Any]]) -> SpanTree:
+    """Reconstruct the span tree(s) from decoded trace events.
+
+    Spans are declared by ``span_start`` (identity + name), closed by
+    ``span_end`` (timing + status), and populated by every other event
+    carrying a matching ``span`` field — including events merged in from
+    worker subprocess trace files, which is the whole point.
+    """
+    nodes: Dict[str, SpanNode] = {}
+    order: List[str] = []
+    tree = SpanTree()
+    trace_ids: List[str] = []
+    for event in events:
+        kind = event.get("kind")
+        span = event.get("span")
+        if kind == "span_start":
+            if not span:
+                continue
+            node = nodes.get(span)
+            if node is None:
+                node = nodes[span] = SpanNode(span_id=span)
+                order.append(span)
+            node.name = event.get("name", node.name)
+            node.trace_id = event.get("trace")
+            node.parent_id = event.get("parent")
+            node.start = event.get("t")
+            node.fields = {k: v for k, v in event.items()
+                           if k not in ("kind", "t", "span", "trace",
+                                        "parent", "name")}
+            if node.trace_id and node.trace_id not in trace_ids:
+                trace_ids.append(node.trace_id)
+        elif kind == "span_end":
+            node = nodes.get(span) if span else None
+            if node is None:
+                tree.orphan_events += 1
+                continue
+            node.end = event.get("t")
+            if event.get("status") is not None:
+                node.status = event.get("status")
+        elif span:
+            node = nodes.get(span)
+            if node is None:
+                tree.orphan_events += 1
+            else:
+                node.events += 1
+    for span in order:
+        node = nodes[span]
+        parent = nodes.get(node.parent_id) if node.parent_id else None
+        if parent is not None:
+            parent.children.append(node)
+        else:
+            tree.roots.append(node)
+    tree.spans = len(order)
+    tree.trace_ids = trace_ids
+    return tree
+
+
+def span_tree_of(path: str) -> SpanTree:
+    """Read one trace file and reconstruct its span tree."""
+    return build_span_tree(read_trace(path))

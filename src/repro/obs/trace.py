@@ -46,6 +46,13 @@ Event kinds
     attached to identical in-flight work, started solving, finished,
     was answered from the fingerprint cache; the server came up / began
     draining.
+``span_start`` / ``span_end``
+    Cross-process correlation (see :mod:`repro.obs.context`): one timed
+    span of a trace tree opened/closed, carrying ``trace``/``span`` (and
+    ``parent``) identifiers.  A tracer with a bound
+    :class:`~repro.obs.context.SpanContext` stamps every event with its
+    ``span``, which is how events merged from worker subprocess trace
+    files stay attached to the right node of the tree.
 
 Overhead
 --------
@@ -78,6 +85,8 @@ EVENT_KINDS = (
     # Serving lifecycle (repro.serve): scheduler/server-side events.
     "job_submit", "job_dedup", "job_start", "job_done", "cache_hit",
     "serve_start", "serve_drain",
+    # Cross-process correlation (repro.obs.context).
+    "span_start", "span_end",
 )
 
 
@@ -91,8 +100,16 @@ class Tracer:
     #: False on the base class; engines treat a disabled tracer as None.
     enabled = False
 
+    #: Optional repro.obs.context.SpanContext; when set, every emitted
+    #: event is stamped with the span id (see JsonlTracer.emit).
+    context = None
+
     def emit(self, kind: str, **fields: Any) -> None:
         pass
+
+    def now(self) -> float:
+        """Seconds on this tracer's clock (0.0 for no-op tracers)."""
+        return 0.0
 
     def close(self) -> None:
         pass
@@ -120,10 +137,12 @@ class JsonlTracer(Tracer):
 
     enabled = True
 
-    def __init__(self, sink, clock=time.perf_counter):
+    def __init__(self, sink, clock=time.perf_counter, context=None):
         self._clock = clock
         self._t0 = clock()
         self.events_written = 0
+        #: Optional SpanContext: stamps a "span" field on every event.
+        self.context = context
         if isinstance(sink, (str, os.PathLike)):
             self.path: Optional[str] = os.fspath(sink)
             self._fh = open(self.path, "w")
@@ -133,8 +152,17 @@ class JsonlTracer(Tracer):
             self._fh = sink
             self._owns = False
 
+    def now(self) -> float:
+        return self._clock() - self._t0
+
     def emit(self, kind: str, **fields: Any) -> None:
-        record = {"t": round(self._clock() - self._t0, 6), "kind": kind}
+        # An explicit "t" wins: the supervisor re-stamps events merged
+        # from a worker subprocess trace onto this tracer's clock.
+        t = fields.pop("t", None)
+        record = {"t": round(self._clock() - self._t0, 6)
+                  if t is None else round(t, 6), "kind": kind}
+        if self.context is not None and "span" not in fields:
+            record["span"] = self.context.span_id
         record.update(fields)
         self._fh.write(json.dumps(record, separators=(",", ":")))
         self._fh.write("\n")

@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..circuit.netlist import Circuit
 from ..errors import CORRUPT_ANSWER, CRASHED, LOST, WorkerFailure
+from ..obs.metrics import default_registry
 from ..result import Limits, SolverResult, SolverStats, UNKNOWN
 from .faults import FaultPlan, NO_FAULTS
 from .supervisor import (CERTIFY_FULL, CERTIFY_LEVELS, CERTIFY_SAT,
@@ -281,6 +282,14 @@ def solve_portfolio(circuit: Circuit,
                                         engine=failure.engine,
                                         attempt=handle.attempt + 1,
                                         after=failure.kind)
+                        registry = default_registry()
+                        if registry is not None:
+                            registry.counter(
+                                "repro_worker_retries_total",
+                                "Worker attempts requeued after a "
+                                "retryable failure",
+                                labelnames=("after",),
+                            ).labels(after=failure.kind).inc()
                         queue.appendleft((handle.spec, handle.attempt + 1))
             active = still_active
             if win_result is not None:

@@ -25,13 +25,18 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
+import os
 import signal
+import tempfile
 import time
 from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import (CORRUPT_ANSWER, CRASHED, LOST, MEMOUT, TIMEOUT,
                       WorkerFailure)
+from ..obs.context import SpanContext, context_of
+from ..obs.metrics import (MEMORY_BUCKETS, default_registry, observe_solve)
+from ..obs.summary import read_trace
 from ..result import Limits, SAT, SolverResult, UNSAT
 from .worker import WorkerJob, payload_to_result, run_worker
 
@@ -61,6 +66,8 @@ class WorkerOutcome:
     #: Shareable lemmas exported by the worker (cube jobs with
     #: ``export_lemmas``); None otherwise.
     lemmas: Optional[list] = None
+    #: Worker's self-reported peak RSS in MB (None when unavailable).
+    maxrss_mb: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -85,7 +92,9 @@ class WorkerHandle:
     """Parent-side handle on one running worker."""
 
     def __init__(self, proc, conn, job: WorkerJob, index: int,
-                 deadline: Optional[float], grace_seconds: float):
+                 deadline: Optional[float], grace_seconds: float,
+                 span: Optional[SpanContext] = None,
+                 spawn_t: float = 0.0):
         self.proc = proc
         self.conn = conn
         self.job = job
@@ -94,6 +103,8 @@ class WorkerHandle:
         self.deadline = deadline          # absolute perf_counter time
         self.grace_seconds = grace_seconds
         self.killed = False               # we sent SIGTERM/SIGKILL
+        self.span = span                  # worker span (trace correlation)
+        self.spawn_t = spawn_t            # parent-tracer time at spawn
 
     @property
     def elapsed(self) -> float:
@@ -174,7 +185,8 @@ class WorkerHandle:
                                             seconds=self.elapsed)), tracer)
         return self._finish(WorkerOutcome(name, result=result,
                                           seconds=self.elapsed,
-                                          lemmas=payload.get("lemmas")),
+                                          lemmas=payload.get("lemmas"),
+                                          maxrss_mb=payload.get("maxrss_mb")),
                             tracer)
 
     def _classify_exit(self) -> WorkerOutcome:
@@ -232,7 +244,66 @@ class WorkerHandle:
                             index=self.index, failure=outcome.failure.kind,
                             detail=outcome.failure.detail,
                             seconds=round(outcome.seconds, 6))
+        self._merge_child_trace(tracer)
+        if tracer is not None and self.span is not None:
+            status = (outcome.result.status if outcome.ok
+                      else outcome.failure.kind)
+            tracer.emit("span_end", span=self.span.span_id, status=status,
+                        maxrss_mb=outcome.maxrss_mb)
+        self._record_metrics(outcome)
         return outcome
+
+    def _merge_child_trace(self, tracer) -> None:
+        """Fold the worker's own trace file (if any) into the parent
+        trace, re-stamped onto the parent tracer's clock, then delete
+        it.  A killed worker leaves a torn final line; ``read_trace``
+        skips it."""
+        path = self.job.trace_path
+        if path is None:
+            return
+        self.job.trace_path = None        # merge exactly once
+        if tracer is not None:
+            try:
+                for record in read_trace(path, skipped=[]):
+                    record = dict(record)
+                    kind = record.pop("kind", "event")
+                    t = record.pop("t", 0.0)
+                    if not isinstance(t, (int, float)):
+                        t = 0.0
+                    tracer.emit(kind, t=t + self.spawn_t, **record)
+            except (OSError, ValueError):
+                pass  # empty/garbled worker trace: correlation degrades
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def _record_metrics(self, outcome: WorkerOutcome) -> None:
+        registry = default_registry()
+        if registry is None:
+            return
+        registry.histogram(
+            "repro_worker_seconds",
+            "Wall seconds per isolated worker").observe(outcome.seconds)
+        if outcome.maxrss_mb is not None:
+            registry.histogram(
+                "repro_worker_maxrss_mb",
+                "Worker peak RSS (self-reported, MB)",
+                buckets=MEMORY_BUCKETS).observe(outcome.maxrss_mb)
+        if outcome.ok:
+            registry.counter(
+                "repro_worker_results_total", "Worker answers by status",
+                ("status",)).labels(outcome.result.status).inc()
+            # Fold the subprocess engine's effort into the engine
+            # families — the worker's own registry dies with it.
+            observe_solve(registry, self.job.kind, outcome.result.status,
+                          outcome.result.time_seconds or outcome.seconds,
+                          outcome.result.stats)
+        else:
+            registry.counter(
+                "repro_worker_failures_total",
+                "Worker failures by taxonomy kind",
+                ("kind",)).labels(outcome.failure.kind).inc()
 
 
 def _certify_payload(job: WorkerJob, result: SolverResult, payload: dict,
@@ -275,6 +346,21 @@ def spawn_worker(job: WorkerJob,
         job.limits.validate()
     if wall_seconds is not None and job.limits is None:
         job.limits = Limits(max_seconds=wall_seconds)
+    span = None
+    spawn_t = 0.0
+    parent_ctx = context_of(tracer)
+    if tracer is not None and parent_ctx is not None:
+        # The caller bound a span context: mint a child span for this
+        # worker and hand it a private trace file to merge back at reap.
+        span = parent_ctx.child()
+        fd, trace_path = tempfile.mkstemp(prefix="repro-worker-trace-",
+                                          suffix=".jsonl")
+        os.close(fd)
+        job.trace_path = trace_path
+        job.trace_id = span.trace_id
+        job.span_id = span.span_id
+        job.parent_span = span.parent_id
+        spawn_t = tracer.now()
     ctx = _context(start_method)
     parent_conn, child_conn = ctx.Pipe(duplex=False)
     proc = ctx.Process(target=run_worker, args=(child_conn, job),
@@ -288,8 +374,17 @@ def spawn_worker(job: WorkerJob,
         tracer.emit("worker_spawn", engine=job.name, index=index,
                     pid=proc.pid, wall_seconds=wall_seconds,
                     mem_limit_mb=job.mem_limit_mb, fault=job.fault)
+        if span is not None:
+            fields = span.as_fields()
+            fields.update(name="worker:{}".format(job.name), index=index,
+                          pid=proc.pid)
+            tracer.emit("span_start", **fields)
+    registry = default_registry()
+    if registry is not None:
+        registry.counter("repro_worker_spawns_total",
+                         "Isolated workers spawned").inc()
     return WorkerHandle(proc, parent_conn, job, index, deadline,
-                        grace_seconds)
+                        grace_seconds, span=span, spawn_t=spawn_t)
 
 
 def run_supervised(job: WorkerJob,
@@ -306,6 +401,15 @@ def run_supervised(job: WorkerJob,
         raise ValueError("certify must be one of {}".format(CERTIFY_LEVELS))
     if certify == CERTIFY_FULL:
         job.collect_proof = True
+    root = None
+    if tracer is not None and context_of(tracer) is None:
+        # No caller-bound span: root the correlation tree here so the
+        # worker's merged events still share one trace id.
+        root = SpanContext.new_root()
+        tracer.context = root
+        fields = root.as_fields()
+        fields.update(name="supervise", engine=job.name)
+        tracer.emit("span_start", **fields)
     handle = spawn_worker(job, wall_seconds=wall_seconds,
                           grace_seconds=grace_seconds, tracer=tracer,
                           start_method=start_method)
@@ -319,4 +423,9 @@ def run_supervised(job: WorkerJob,
             break
         if not handle.proc.is_alive():
             break
-    return handle.reap(certify=certify, tracer=tracer)
+    outcome = handle.reap(certify=certify, tracer=tracer)
+    if root is not None:
+        status = (outcome.result.status if outcome.result is not None
+                  else (outcome.failure.kind if outcome.failure else "UNKNOWN"))
+        tracer.emit("span_end", span=root.span_id, status=status)
+    return outcome

@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..circuit.netlist import Circuit
 from ..errors import CRASHED, MEMOUT
+from ..obs.trace import Tracer
 from ..result import Limits, SAT, SolverResult, UNSAT
 from .faults import POST_FAULTS, PRE_FAULTS
 
@@ -77,6 +78,59 @@ class WorkerJob:
     #: Ship root-level units + binary learned clauses back in the payload
     #: (``"lemmas"`` key) for injection into not-yet-started cubes.
     export_lemmas: bool = False
+    # --- cross-process trace correlation (repro.obs.context) ----------
+    #: Path this worker writes its own JSONL trace to; the supervisor
+    #: merges the file back into the parent trace at reap and deletes
+    #: it.  None (the default) disables worker-side tracing entirely.
+    trace_path: Optional[str] = None
+    #: Span identity the parent minted for this worker: every event the
+    #: worker writes is stamped with ``span_id`` so the merged trace
+    #: attaches them to the right node of the span tree.
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_span: Optional[str] = None
+
+
+#: Event kinds a worker-side tracer forwards to its trace file.  The
+#: high-rate search events (decision/conflict/learn/implication_batch)
+#: are dropped: a worker trace exists for correlation, not for replaying
+#: the search, and the full firehose would dominate the solve itself.
+_COARSE_KINDS = frozenset((
+    "solve_start", "solve_end", "restart", "reduce_db", "progress",
+    "phase", "subproblem", "correlation_hit"))
+
+
+class _CoarseTracer(Tracer):
+    """Tracer façade that keeps only boundary/low-rate event kinds."""
+
+    enabled = True
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.context = inner.context
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        if kind in _COARSE_KINDS:
+            self._inner.emit(kind, **fields)
+
+    def now(self) -> float:
+        return self._inner.now()
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+def _maxrss_mb() -> Optional[float]:
+    """This process's peak RSS in MB (best effort; None off-POSIX)."""
+    try:
+        import resource
+        import sys
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KB on Linux, bytes on macOS.
+        divisor = (1 << 20) if sys.platform == "darwin" else 1024.0
+        return round(rss / divisor, 3)
+    except (ImportError, OSError, ValueError):
+        return None
 
 
 def _apply_mem_limit(mem_limit_mb: Optional[int]) -> None:
@@ -161,7 +215,7 @@ def _dimacs_to_circuit(d: int) -> int:
     return 2 * node + (1 if d < 0 else 0)
 
 
-def _solve_job(job: WorkerJob) -> dict:
+def _solve_job(job: WorkerJob, tracer=None) -> dict:
     """Run the solve a job describes; returns the result payload dict."""
     circuit = job.circuit
     objectives = (list(job.objectives) if job.objectives is not None
@@ -181,6 +235,8 @@ def _solve_job(job: WorkerJob) -> dict:
                        if job.overrides else job.options)
         else:
             options = preset(job.preset_name, **job.overrides)
+        if tracer is not None:
+            options = options.replace(trace=tracer)
         if job.collect_proof:
             from ..proof import ProofLog
             proof = ProofLog()
@@ -205,7 +261,7 @@ def _solve_job(job: WorkerJob) -> dict:
         if job.collect_proof:
             from ..proof import ProofLog
             proof = ProofLog()
-        solver = CnfSolver(formula, proof=proof)
+        solver = CnfSolver(formula, proof=proof, trace=tracer)
         if job.seed_lemmas:
             for clause in job.seed_lemmas:
                 # Shared lemmas hold for circuit AND objectives — exactly
@@ -262,27 +318,57 @@ def _safe_send(conn, message: Tuple[str, Optional[dict]]) -> None:
 
 def run_worker(conn, job: WorkerJob) -> None:
     """Child-process entry point: solve, classify own failures, report."""
+    tracer = None
     try:
         _apply_mem_limit(job.mem_limit_mb)
         _apply_pre_fault(job.fault, job.mem_limit_mb)
-        payload = _solve_job(job)
+        if job.trace_path is not None:
+            # Worker-side trace: our own JSONL file, stamped with the
+            # span the parent minted, merged back by the supervisor.
+            from ..obs.context import SpanContext
+            from ..obs.trace import JsonlTracer
+            context = None
+            if job.span_id is not None:
+                context = SpanContext(trace_id=job.trace_id or "",
+                                      span_id=job.span_id,
+                                      parent_id=job.parent_span)
+            tracer = _CoarseTracer(JsonlTracer(job.trace_path,
+                                               context=context))
+        payload = _solve_job(job, tracer)
+        payload["maxrss_mb"] = _maxrss_mb()
         payload = _apply_post_fault(job.fault, job, payload)
+        # Flush the trace before the result crosses the pipe: the parent
+        # merges our file the moment it sees the message.
+        tracer = _close_tracer(tracer)
         if payload is not None:
             _safe_send(conn, ("result", payload))
     except MemoryError:
+        tracer = _close_tracer(tracer)
         _safe_send(conn, ("failure", {
             "kind": MEMOUT,
             "detail": "memory cap of {} MB exceeded".format(
                 job.mem_limit_mb)}))
     except BaseException as exc:  # noqa: BLE001 — crash containment is the job
+        tracer = _close_tracer(tracer)
         _safe_send(conn, ("failure", {
             "kind": CRASHED,
             "detail": "{}: {}".format(type(exc).__name__, exc)}))
     finally:
+        tracer = _close_tracer(tracer)
         try:
             conn.close()
         except OSError:
             pass
+
+
+def _close_tracer(tracer):
+    """Close a worker tracer exactly once; always returns None."""
+    if tracer is not None:
+        try:
+            tracer.close()
+        except OSError:
+            pass
+    return None
 
 
 def payload_to_result(payload: dict) -> SolverResult:

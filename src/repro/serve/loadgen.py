@@ -164,6 +164,27 @@ def build_workload(seed: int = 0, count: int = 40,
     return items
 
 
+#: The workload classes an SLO is tracked against, keyed by the label
+#: prefixes :func:`build_workload` assigns.
+WORKLOAD_CLASSES = ("unsat_miter", "cnf_phase", "random_dag", "duplicate")
+
+
+def workload_class(label: str, dup_of: Optional[str] = None) -> str:
+    """Map a workload label to its SLO class.
+
+    Renamed duplicates are their own class regardless of base flavour:
+    their latency story (fingerprint hit or dedup) is what the cache
+    subsystem is accountable for.
+    """
+    if dup_of is not None or "#dup" in label:
+        return "duplicate"
+    if label.startswith("unsat"):
+        return "unsat_miter"
+    if label.startswith("cnf"):
+        return "cnf_phase"
+    return "random_dag"
+
+
 @dataclass
 class RequestRecord:
     """Measured outcome of one submitted request."""
@@ -175,6 +196,10 @@ class RequestRecord:
     deduped: bool = False
     ok: bool = True
     detail: str = ""
+
+    @property
+    def workload_class(self) -> str:
+        return workload_class(self.label)
 
 
 @dataclass
@@ -200,6 +225,35 @@ class LoadReport:
             return 0.0
         index = min(len(lat) - 1, max(0, int(round(q * (len(lat) - 1)))))
         return lat[index]
+
+    def slo_classes(self) -> Dict[str, Dict[str, Any]]:
+        """Per-workload-class latency/error points for the SLO report.
+
+        The shape is exactly what :func:`repro.obs.export.slo_document`
+        consumes: requests/errors plus p50/p95/p99 in milliseconds.
+        """
+        grouped: Dict[str, List[RequestRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.workload_class, []).append(record)
+        classes: Dict[str, Dict[str, Any]] = {}
+        for name, records in grouped.items():
+            lat = sorted(r.seconds for r in records)
+
+            def pct(q: float) -> float:
+                index = min(len(lat) - 1,
+                            max(0, int(round(q * (len(lat) - 1)))))
+                return round(lat[index] * 1e3, 3)
+
+            classes[name] = {
+                "requests": len(records),
+                "errors": sum(1 for r in records if not r.ok),
+                "cache_hits": sum(1 for r in records if r.cached),
+                "deduped": sum(1 for r in records if r.deduped),
+                "p50_ms": pct(0.50),
+                "p95_ms": pct(0.95),
+                "p99_ms": pct(0.99),
+            }
+        return classes
 
     def as_point(self, **extra: Any) -> Dict[str, Any]:
         point = {
@@ -357,6 +411,40 @@ def serve_bench_document(seed: int = 0, requests: int = 40,
         "warm_speedup": _warm_speedup(points),
     }
     return document
+
+
+def slo_bench_document(seed: int = 0, requests: int = 40,
+                       workers: int = 4, concurrency: int = 4,
+                       max_seconds: float = 60.0,
+                       objective: float = 0.99,
+                       differential: bool = True) -> Dict[str, Any]:
+    """The ``BENCH_slo.json`` producer: one cold pass per workload class.
+
+    A single server replays the seeded workload once from an empty cache
+    (the pessimistic regime: every latency includes a real solve unless
+    the in-run duplicate structure saves it), and the per-class
+    percentiles plus error-budget burn go through
+    :func:`repro.obs.export.slo_document`.
+    """
+    from ..obs.export import slo_document
+    from .server import ReproServer
+    workload = build_workload(seed=seed, count=requests)
+    expected = reference_answers(workload, max_seconds=max_seconds) \
+        if differential else {}
+    server = ReproServer(host="127.0.0.1", port=0, workers=workers,
+                         max_queue=max(64, requests * 2)).start()
+    try:
+        client = ServeClient(server.host, server.port,
+                             timeout=max_seconds + 60.0)
+        report = run_load(client, workload, concurrency=concurrency,
+                          max_seconds=max_seconds, expected=expected)
+    finally:
+        server.stop(drain=True)
+    return slo_document(
+        report.slo_classes(), objective=objective, seed=seed,
+        requests=requests, workers=workers, concurrency=concurrency,
+        differential=differential, ok=report.ok,
+        wall_seconds=round(report.wall_seconds, 6))
 
 
 def _warm_speedup(points: List[Dict[str, Any]]) -> Optional[float]:

@@ -33,6 +33,8 @@ from ..result import Limits, SAT, UNKNOWN, UNSAT
 from ..runtime.supervisor import (CERTIFY_LEVELS, CERTIFY_SAT,
                                   run_supervised)
 from ..runtime.worker import WORKER_KINDS, WorkerJob
+from ..obs.context import child_context, context_of
+from ..obs.metrics import default_registry
 from ..obs.trace import Tracer
 from .cache import AnswerCache, limits_class
 from .fingerprint import Fingerprint, bits_to_model, fingerprint, \
@@ -114,9 +116,15 @@ class _JobTracer(Tracer):
         self._downstream = downstream
 
     def emit(self, kind: str, **fields: Any) -> None:
+        if self.context is not None and "span" not in fields:
+            fields["span"] = self.context.span_id
         self._job.add_event(kind, **fields)
         if self._downstream is not None:
             self._downstream.emit(kind, job=self._job.id, **fields)
+
+    def now(self) -> float:
+        return (self._downstream.now()
+                if self._downstream is not None else 0.0)
 
 
 class Job:
@@ -223,23 +231,34 @@ class SolveScheduler:
     # Admission
     # ------------------------------------------------------------------
 
+    def _reject(self, code: str, message: str) -> AdmissionError:
+        """Count a door rejection and build the error for the caller."""
+        self.rejected += 1
+        registry = default_registry()
+        if registry is not None:
+            registry.counter("repro_serve_rejections_total",
+                             "Requests rejected at admission, by code",
+                             labelnames=("code",)).labels(code).inc()
+        return AdmissionError(code, message)
+
     def submit(self, request: JobRequest) -> Job:
         """Admit one request; raises :class:`AdmissionError` otherwise."""
+        registry = default_registry()
+        if registry is not None:
+            registry.counter("repro_serve_submitted_total",
+                             "Requests presented at the door").inc()
         if request.engine not in SERVE_ENGINES:
-            self.rejected += 1
-            raise AdmissionError(REJECT_BAD_ENGINE,
-                                 "unknown engine {!r}; known: {}".format(
-                                     request.engine,
-                                     ", ".join(SERVE_ENGINES)))
+            raise self._reject(REJECT_BAD_ENGINE,
+                               "unknown engine {!r}; known: {}".format(
+                                   request.engine,
+                                   ", ".join(SERVE_ENGINES)))
         if request.limits is not None:
             try:
                 request.limits.validate()
             except SolverError as exc:
-                self.rejected += 1
-                raise AdmissionError(REJECT_BAD_LIMITS, str(exc))
+                raise self._reject(REJECT_BAD_LIMITS, str(exc))
             if request.limits.exhausted_on_entry():
-                self.rejected += 1
-                raise AdmissionError(
+                raise self._reject(
                     REJECT_EMPTY_BUDGET,
                     "budget is zero or negative — the solve could never "
                     "start; fix the limits instead of queueing it")
@@ -249,10 +268,9 @@ class SolveScheduler:
                                 request.engine)
         with self._lock:
             if self._closed:
-                self.rejected += 1
-                raise AdmissionError(REJECT_DRAINING,
-                                     "server is draining; not accepting "
-                                     "new work")
+                raise self._reject(REJECT_DRAINING,
+                                   "server is draining; not accepting "
+                                   "new work")
             job = Job("j{}".format(next(self._ids)), request, fp)
             self._jobs[job.id] = job
             self.submitted += 1
@@ -266,6 +284,11 @@ class SolveScheduler:
         # 1. Answer cache.
         hit = self.cache.lookup(request.circuit, fp, request.limits,
                                 request.engine)
+        if registry is not None:
+            registry.counter("repro_serve_cache_lookups_total",
+                             "Answer-cache lookups at admission",
+                             labelnames=("outcome",)).labels(
+                                 "hit" if hit is not None else "miss").inc()
         if hit is not None:
             job.cached = True
             job.add_event("cache_hit", digest=fp.digest,
@@ -285,19 +308,26 @@ class SolveScheduler:
                 job.deduped = True
                 self._followers.setdefault(key, []).append(job)
                 job.add_event("job_dedup", follows=primary.id)
+                if registry is not None:
+                    registry.counter(
+                        "repro_serve_dedup_total",
+                        "Jobs folded into identical in-flight work").inc()
                 return job
             # 3. Admission control: bounded queue.
             depth = len(self._queue)
             if depth >= self.max_queue:
                 del self._jobs[job.id]
-                self.rejected += 1
-                raise AdmissionError(
+                raise self._reject(
                     REJECT_QUEUE_FULL,
                     "queue is full ({} jobs); retry later".format(depth))
             self._inflight[key] = job
             job._dedup_key = key
             heapq.heappush(self._queue,
                            (-request.priority, next(self._seq), job))
+            if registry is not None:
+                registry.gauge("repro_serve_queue_depth",
+                               "Jobs queued, not yet running").set(
+                                   len(self._queue))
             self._work.notify()
         return job
 
@@ -320,6 +350,11 @@ class SolveScheduler:
                     continue
                 _, _, job = heapq.heappop(self._queue)
                 self._running += 1
+                registry = default_registry()
+                if registry is not None:
+                    registry.gauge("repro_serve_queue_depth",
+                                   "Jobs queued, not yet running").set(
+                                       len(self._queue))
             try:
                 self._execute(job)
             finally:
@@ -336,6 +371,16 @@ class SolveScheduler:
         if self.tracer is not None:
             self.tracer.emit("job_start", job=job.id, engine=request.engine)
         tracer = _JobTracer(job, self.tracer)
+        span = None
+        if self.tracer is not None:
+            # Root a job span (child of any caller-bound span on the
+            # global tracer) so worker/cube sub-spans correlate to it.
+            span = child_context(context_of(self.tracer))
+            tracer.context = span
+            fields = span.as_fields()
+            fields.update(name="job:{}".format(job.id),
+                          engine=request.engine, label=request.label)
+            tracer.emit("span_start", **fields)
         try:
             payload = self._solve(job, tracer)
         except Exception as exc:  # noqa: BLE001 — the server must survive
@@ -362,8 +407,23 @@ class SolveScheduler:
         if self.tracer is not None:
             self.tracer.emit("job_done", job=job.id,
                              status=payload["status"])
+        if span is not None:
+            tracer.emit("span_end", span=span.span_id,
+                        status=payload["status"])
         self._resolve_followers(job, payload, model)
         job.finish(payload)
+        registry = default_registry()
+        if registry is not None:
+            registry.counter("repro_serve_jobs_total",
+                             "Jobs run to completion, by final status",
+                             labelnames=("status",)).labels(
+                                 payload["status"]).inc()
+            if job.started is not None and job.finished is not None:
+                registry.histogram(
+                    "repro_serve_job_seconds",
+                    "Per-job wall time from start to finish",
+                    labelnames=("engine",)).labels(
+                        request.engine).observe(job.finished - job.started)
 
     def _wall_seconds(self, limits: Optional[Limits]) -> Optional[float]:
         wall = limits.max_seconds if limits is not None else None

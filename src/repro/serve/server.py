@@ -44,6 +44,7 @@ from urllib.parse import parse_qs, urlparse
 from .. import __version__
 from ..circuit.source import read_circuit_text
 from ..errors import CircuitError, ParseError, ReproError, SolverError
+from ..obs.metrics import enable_metrics
 from ..result import Limits
 from .cache import AnswerCache
 from .fingerprint import fingerprint
@@ -87,6 +88,9 @@ class ReproServer:
                  certify: str = "sat",
                  max_wall_seconds: Optional[float] = None,
                  tracer=None):
+        # A serving node always measures itself: flip the process-wide
+        # registry on so every layer under the scheduler records too.
+        self.registry = enable_metrics()
         self.scheduler = SolveScheduler(
             workers=workers, cache=cache, max_queue=max_queue,
             mem_limit_mb=mem_limit_mb, grace_seconds=grace_seconds,
@@ -237,6 +241,15 @@ class _ServeHandler(BaseHTTPRequestHandler):
             self._send_json(200, {"ok": True,
                                   "scheduler":
                                       self.repro_server.scheduler.stats()})
+            return
+        if path == "/metrics":
+            body = self.repro_server.registry.render().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type",
+                             "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
             return
         if path.startswith("/result/"):
             self._get_result(path[len("/result/"):], query)

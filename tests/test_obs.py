@@ -395,3 +395,53 @@ class TestProgressPrinter:
         assert len(out) == 2
         assert "conflicts=100" in out[0]
         assert "avg-backjump=1.40" in out[0]
+
+
+# ----------------------------------------------------------------------
+# Kernel backend progress: same cadence contract as the legacy engine
+# ----------------------------------------------------------------------
+
+class TestKernelProgress:
+    def test_kernel_progress_cadence_pinned(self):
+        """--progress N on the kernel backend snapshots exactly on the
+        N-conflict cadence, with live search state in every snapshot."""
+        snaps = []
+        m = equiv_miter("c499")
+        options = preset("kernel", progress_interval=10,
+                         progress=snaps.append)
+        result = CircuitSolver(m, options).solve(
+            limits=Limits(max_conflicts=200))
+        assert result.stats.conflicts >= 10
+        assert snaps, "kernel backend produced no progress snapshots"
+        for snap in snaps:
+            assert isinstance(snap, ProgressSnapshot)
+            assert snap.conflicts % 10 == 0
+            assert snap.conflicts > 0
+            assert snap.elapsed >= 0.0
+        # Cumulative counters never move backwards across snapshots.
+        conflicts = [s.conflicts for s in snaps]
+        assert conflicts == sorted(conflicts)
+        # The kernel wires real back-jump accounting into the snapshot.
+        assert any(s.avg_backjump > 0.0 for s in snaps)
+
+    def test_kernel_progress_events_land_in_trace(self, tmp_path):
+        path = str(tmp_path / "kp.jsonl")
+        m = equiv_miter("c499")
+        options = preset("kernel", trace=path, progress_interval=10)
+        solver = CircuitSolver(m, options)
+        solver.solve(limits=Limits(max_conflicts=100))
+        solver.engine.tracer.close()
+        events = [e for e in read_trace(path) if e["kind"] == "progress"]
+        assert events, "no progress events in the kernel trace"
+        assert all(e["conflicts"] % 10 == 0 for e in events)
+
+    def test_kernel_cli_progress_flag(self, tmp_path, capsys):
+        from repro.circuit.bench_io import write_bench
+        from repro.cli import main
+        path = tmp_path / "m.bench"
+        path.write_text(write_bench(equiv_miter("c499")))
+        code = main(["solve", str(path), "--preset", "kernel",
+                     "--progress", "10"])
+        captured = capsys.readouterr()
+        assert code in (0, 20, 10)   # decisive either way
+        assert "conflicts=" in captured.err
