@@ -229,13 +229,20 @@ def _run_cubes(args, circuit, label: str, workers: int, tracer=None) -> int:
         max_cubes=getattr(args, "max_cubes", None),
         cubes_per_worker=getattr(args, "cubes_per_worker", 8),
         max_depth=getattr(args, "max_depth", 12))
+    from .durable.checkpoint import CheckpointError
     try:
         report = solve_cubes(
             circuit, workers=workers, cutter=cutter,
             kind=getattr(args, "engine", "csat"), preset_name=args.preset,
             budget=args.budget, mem_limit_mb=args.mem_limit,
             grace_seconds=args.grace, max_retries=args.retries,
-            certify=args.certify, faults=faults, trace=tracer)
+            certify=args.certify, faults=faults, trace=tracer,
+            checkpoint_path=getattr(args, "checkpoint", None),
+            checkpoint_every=getattr(args, "checkpoint_every", 8),
+            resume_from=getattr(args, "resume", None))
+    except CheckpointError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
     except ValueError as exc:
         # e.g. --certify full, which cube mode structurally cannot honour
         print("error: {}".format(exc), file=sys.stderr)
@@ -245,6 +252,9 @@ def _run_cubes(args, circuit, label: str, workers: int, tracer=None) -> int:
         print(json.dumps(dict(report.as_dict(), instance=label), indent=2))
         return _status_code(report.result)
     print("cube: " + report.summary())
+    if report.resumed:
+        print("  resumed: {} cube(s) already closed by the "
+              "checkpoint".format(report.resumed))
     for outcome in report.cubes:
         line = "  cube {:3d}  {:14s} {:8.3f}s  {} literals".format(
             outcome.index, outcome.status, outcome.seconds,
@@ -635,6 +645,7 @@ def cmd_fingerprint(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    import signal as _signal
     from .obs import JsonlTracer
     from .serve.cache import AnswerCache
     from .serve.server import ReproServer
@@ -647,21 +658,49 @@ def cmd_serve(args) -> int:
         cache=cache, max_queue=args.max_queue,
         mem_limit_mb=args.mem_limit, grace_seconds=args.grace,
         certify=args.certify, max_wall_seconds=args.job_timeout,
-        tracer=tracer)
-    print("repro serve: listening on {} ({} workers, cache {} entries{})"
+        tracer=tracer, journal_path=args.journal)
+    print("repro serve: listening on {} ({} workers, cache {} entries{}{})"
           .format(server.address, args.workers, args.cache_size,
-                  ", store " + args.cache_file if args.cache_file else ""),
+                  ", store " + args.cache_file if args.cache_file else "",
+                  ", journal " + args.journal if args.journal else ""),
           file=sys.stderr)
+    if server.recovery:
+        print("repro serve: recovered from journal — {} record(s), "
+              "{} answer(s) rehydrated, {} job(s) re-admitted"
+              .format(server.recovery["records"],
+                      server.recovery["rehydrated"],
+                      server.recovery["replayed"]), file=sys.stderr)
+
+    # Graceful termination: SIGTERM/SIGINT drain the scheduler and close
+    # (fsync) the journal before the listener goes away, so an operator
+    # `kill` or Ctrl-C never loses an admitted job.
+    def _graceful(signum, frame):
+        print("repro serve: caught signal {}, draining...".format(signum),
+              file=sys.stderr)
+        server.request_shutdown(drain=True)
+
+    previous = {}
+    for sig in (_signal.SIGTERM, _signal.SIGINT):
+        try:
+            previous[sig] = _signal.signal(sig, _graceful)
+        except (ValueError, OSError):
+            pass
     try:
         server.serve_forever()
     finally:
+        for sig, handler in previous.items():
+            try:
+                _signal.signal(sig, handler)
+            except (ValueError, OSError):
+                pass
         _finish_trace(tracer)
     return 0
 
 
 def cmd_submit(args) -> int:
     from .serve.client import ServeClient, ServeError
-    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    client = ServeClient(args.host, args.port, timeout=args.timeout,
+                         retries=args.retries)
     limits = {"max_seconds": args.budget} if args.budget else None
     try:
         if args.instance:
@@ -669,7 +708,8 @@ def cmd_submit(args) -> int:
                                  preset=args.preset, limits=limits,
                                  priority=args.priority, fault=args.fault,
                                  cube_workers=args.cube_workers,
-                                 wait=0 if args.no_wait else args.wait)
+                                 wait=0 if args.no_wait else args.wait,
+                                 idempotency_key=args.idempotency_key)
         else:
             from .circuit.source import read_source_text
             text = read_source_text(args.file)
@@ -678,7 +718,8 @@ def cmd_submit(args) -> int:
                                  priority=args.priority, fault=args.fault,
                                  label=args.file,
                                  cube_workers=args.cube_workers,
-                                 wait=0 if args.no_wait else args.wait)
+                                 wait=0 if args.no_wait else args.wait,
+                                 idempotency_key=args.idempotency_key)
         if not args.no_wait and snap.get("state") not in ("DONE",
                                                           "CANCELLED"):
             snap = client.wait_for(snap["job"], timeout=args.wait)
@@ -712,6 +753,39 @@ def cmd_submit(args) -> int:
     if result.get("status") == "UNSAT":
         return 20
     return 0
+
+
+def cmd_chaos(args) -> int:
+    """Kill → restart → recover loops asserting the durability contract."""
+    import json
+    from .durable.chaos import ChaosError, chaos_conquer, chaos_serve
+    from .runtime.faults import KillPlan
+    reports = []
+    log = sys.stderr if args.verbose else None
+    try:
+        if args.mode in ("serve", "both"):
+            kill = KillPlan(min_delay=args.kill_min, max_delay=args.kill_max,
+                            seed=args.seed)
+            reports.append(chaos_serve(
+                rounds=args.rounds, seed=args.seed, workers=args.workers,
+                instances=(args.instances.split(",") if args.instances
+                           else None),
+                budget=args.budget, kill=kill, log=log))
+        if args.mode in ("conquer", "both"):
+            reports.append(chaos_conquer(
+                instance=args.instance, seed=args.seed,
+                workers=args.workers, budget=args.budget, log=log))
+    except ChaosError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps([r.as_dict() for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.summary())
+            for violation in report.violations:
+                print("  VIOLATION: {}".format(violation))
+    return 0 if all(r.ok for r in reports) else 1
 
 
 def cmd_metrics(args) -> int:
@@ -860,6 +934,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write cube/worker lifecycle events here (JSONL)")
     p.add_argument("--json", action="store_true",
                    help="print the full cube report as JSON on stdout")
+    p.add_argument("--checkpoint", metavar="FILE", default=None,
+                   help="persist cube outcomes + the lemma pool here "
+                        "(atomically) so a killed run can be resumed")
+    p.add_argument("--checkpoint-every", type=int, default=8, metavar="N",
+                   help="checkpoint cadence in completed cubes (default 8)")
+    p.add_argument("--resume", metavar="FILE", default=None,
+                   help="resume from a checkpoint: skip closed cubes, "
+                        "re-inject the lemma pool (refuses a checkpoint "
+                        "from a different circuit/objectives)")
     _add_common(p)
     _add_runtime(p)
     # Cube workers default to the implicit preset (correlations are seeded
@@ -1005,6 +1088,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="boundary re-certification of worker answers")
     p.add_argument("--trace", metavar="FILE", default=None,
                    help="write serve/job/worker lifecycle events (JSONL)")
+    p.add_argument("--journal", metavar="FILE", default=None,
+                   help="append-only job journal (WAL): on restart, "
+                        "finished jobs rehydrate the answer cache and "
+                        "unfinished ones are re-admitted")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("submit",
@@ -1030,6 +1117,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="submit and print the job id without waiting")
     p.add_argument("--timeout", type=float, default=30.0,
                    help="HTTP timeout per request (default 30)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="extra attempts on connection errors / 503 "
+                        "back-pressure, with exponential backoff "
+                        "(default 2; 0 fails fast)")
+    p.add_argument("--idempotency-key", metavar="KEY", default=None,
+                   help="client-chosen dedup key; retried/re-run submits "
+                        "with the same key map onto one server-side job "
+                        "(auto-minted when --retries > 0)")
     p.add_argument("--fault", metavar="KIND", default=None,
                    help="test-only worker fault injection (crash, hang, "
                         "membomb, ...)")
@@ -1059,6 +1154,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also run one cold SLO pass and write the "
                         "per-workload-class report here (BENCH_slo.json)")
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser("chaos",
+                       help="kill -9 a serve node / conquer driver at "
+                            "random points, restart, and assert no "
+                            "answer was lost or solved twice")
+    p.add_argument("--mode", choices=("serve", "conquer", "both"),
+                   default="serve")
+    p.add_argument("--rounds", type=int, default=2,
+                   help="killed server generations before the final "
+                        "drain (default 2)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seeds the kill-point schedule (default 0)")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--budget", type=float, default=120.0,
+                   help="wall budget for the final recovery pass "
+                        "(default 120)")
+    p.add_argument("--kill-min", type=float, default=0.3,
+                   help="earliest kill point in seconds (default 0.3)")
+    p.add_argument("--kill-max", type=float, default=2.5,
+                   help="latest kill point in seconds (default 2.5)")
+    p.add_argument("--instances", metavar="LIST", default=None,
+                   help="comma-separated serve workload (default: a "
+                        "small mixed set)")
+    p.add_argument("--instance", metavar="NAME", default="mult6.arith",
+                   help="conquer-mode instance (default mult6.arith)")
+    p.add_argument("--verbose", action="store_true",
+                   help="narrate kills/restarts on stderr")
+    p.add_argument("--json", action="store_true",
+                   help="print the chaos reports as JSON")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("metrics",
                        help="scrape a running node's /metrics endpoint "

@@ -56,7 +56,7 @@ from ..obs import make_tracer
 from ..obs.context import child_context, context_of
 from ..obs.metrics import default_registry
 from ..sim.correlation import find_correlations
-from .cutter import Cube, CutterOptions, generate_cubes
+from .cutter import Cube, CubeSet, CutterOptions, generate_cubes
 from .sharing import SharedKnowledge, serialize_classes
 
 #: Cube statuses beyond the engine's SAT/UNSAT/UNKNOWN.
@@ -104,6 +104,8 @@ class CubeReport:
     lemmas_shared: int = 0
     pruned: int = 0
     elapsed: float = 0.0
+    #: Cubes restored as already-closed from a ``--resume`` checkpoint.
+    resumed: int = 0
 
     @property
     def solved(self) -> int:
@@ -125,6 +127,7 @@ class CubeReport:
                 "lemmas_shared": self.lemmas_shared,
                 "pruned": self.pruned,
                 "elapsed": round(self.elapsed, 6),
+                "resumed": self.resumed,
                 "result": self.result.as_dict()}
 
 
@@ -165,6 +168,104 @@ def _per_cube_limits(limits: Optional[Limits],
         max_seconds=max_seconds)
 
 
+class _Checkpointer:
+    """Cuts an atomic :mod:`repro.durable.checkpoint` every N completions.
+
+    ``lemmas_fn`` is installed by the conquest mode once its lemma pool
+    exists; until then checkpoints carry an empty pool (still resumable —
+    lemmas are an accelerator, not state).
+    """
+
+    def __init__(self, path: str, every: int, digest: str, exact: str,
+                 objectives: Sequence[int],
+                 outcomes: Dict[int, CubeOutcome],
+                 depths: Dict[int, int], tracer=None):
+        self.path = path
+        self.every = max(1, every)
+        self.digest = digest
+        self.exact = exact
+        self.objectives = list(objectives)
+        self.outcomes = outcomes
+        self.depths = depths
+        self.tracer = tracer
+        self.lemmas_fn = lambda: []
+        self.saves = 0
+        self._since = 0
+
+    def completed(self, count: int = 1, force: bool = False) -> None:
+        """One more cube reached a terminal status; save on cadence."""
+        self._since += count
+        if force or self._since >= self.every:
+            self.save()
+
+    def save(self) -> None:
+        from ..durable.checkpoint import CubeCheckpoint, save_checkpoint
+        cubes = []
+        for index in sorted(self.outcomes):
+            raw = self.outcomes[index].as_dict()
+            raw["depth"] = self.depths.get(
+                index, len(raw.get("literals") or []))
+            cubes.append(raw)
+        closed = sum(1 for o in self.outcomes.values()
+                     if o.status in _CLOSED)
+        checkpoint = CubeCheckpoint(
+            digest=self.digest, exact=self.exact,
+            objectives=self.objectives, cubes=cubes,
+            lemmas=self.lemmas_fn(), completed=closed)
+        try:
+            save_checkpoint(self.path, checkpoint)
+        except OSError:
+            return  # checkpointing must never kill the conquest
+        self.saves += 1
+        self._since = 0
+        if self.tracer is not None:
+            self.tracer.emit("cube_checkpoint", path=self.path,
+                             closed=closed, lemmas=len(checkpoint.lemmas))
+
+
+def _restore_cubes(checkpoint, outcomes: Dict[int, CubeOutcome],
+                   depths: Dict[int, int], tracer=None):
+    """Rebuild the open cube set from a checkpoint.
+
+    Closed cubes (UNSAT / REFUTED / PRUNED) keep their recorded
+    provenance and are never re-solved; everything else — SKIPPED,
+    UNKNOWN, failure kinds, even a recorded SAT (cheap to re-derive and
+    its model was not persisted) — is reopened for a fresh attempt.
+    """
+    open_cubes: List[Cube] = []
+    resumed = 0
+    for raw in checkpoint.cubes:
+        literals = [int(l) for l in raw.get("literals") or []]
+        index = int(raw.get("index", len(outcomes)))
+        depths[index] = int(raw.get("depth", len(literals)))
+        outcome = CubeOutcome(
+            index, literals, status=str(raw.get("status") or SKIPPED),
+            seconds=float(raw.get("seconds", 0.0)),
+            attempts=int(raw.get("attempts", 0)),
+            pruned_by=raw.get("pruned_by"),
+            core_size=raw.get("core_size"),
+            lemmas_exported=int(raw.get("lemmas_exported", 0)),
+            detail=str(raw.get("detail") or ""))
+        outcomes[index] = outcome
+        if outcome.status in _CLOSED:
+            resumed += 1
+            continue
+        outcome.status = SKIPPED
+        outcome.detail = ""
+        open_cubes.append(Cube(index=index, literals=tuple(literals),
+                               depth=depths[index]))
+    registry = default_registry()
+    if registry is not None:
+        registry.counter(
+            "repro_cube_resumed_total",
+            "Cubes restored as already closed from a checkpoint",
+        ).inc(resumed)
+    if tracer is not None:
+        tracer.emit("cube_resume", closed=resumed, open=len(open_cubes),
+                    lemmas=len(checkpoint.lemmas))
+    return CubeSet(cubes=open_cubes), resumed
+
+
 def solve_cubes(circuit: Circuit,
                 objectives: Optional[Sequence[int]] = None,
                 *,
@@ -183,7 +284,10 @@ def solve_cubes(circuit: Circuit,
                 sim_seed: Optional[int] = None,
                 faults: Optional[FaultPlan] = None,
                 trace=None,
-                start_method: Optional[str] = None) -> CubeReport:
+                start_method: Optional[str] = None,
+                checkpoint_path: Optional[str] = None,
+                checkpoint_every: int = 8,
+                resume_from: Optional[str] = None) -> CubeReport:
     """Cube-and-conquer solve of ``circuit`` under ``objectives``.
 
     ``workers >= 1`` schedules cubes over that many isolated processes;
@@ -198,6 +302,14 @@ def solve_cubes(circuit: Circuit,
     Never raises for worker misbehaviour; failed cubes carry their
     failure kind in the report and degrade the answer to UNKNOWN at
     worst.
+
+    Durability: ``checkpoint_path`` persists the cube tree, per-cube
+    outcomes, and the deduped lemma pool atomically every
+    ``checkpoint_every`` completions; ``resume_from`` reloads such a
+    checkpoint — refusing a mismatched circuit/objectives — skips the
+    closed cubes and re-injects the lemma pool.  Raises
+    :class:`repro.durable.checkpoint.CheckpointError` on a checkpoint
+    that does not belong to this instance.
     """
     if workers < 0:
         raise ValueError("workers must be >= 0")
@@ -238,6 +350,20 @@ def solve_cubes(circuit: Circuit,
                               "were given")
     objectives = list(objectives)
 
+    resumed_checkpoint = None
+    if resume_from is not None:
+        from ..durable.checkpoint import load_checkpoint
+        try:
+            resumed_checkpoint = load_checkpoint(resume_from)
+            resumed_checkpoint.validate_for(circuit, objectives)
+        except Exception:
+            if tracer is not None and owns_tracer:
+                tracer.close()
+            raise
+        if checkpoint_path is None:
+            # Resuming continues to checkpoint the same file by default.
+            checkpoint_path = resume_from
+
     start = time.perf_counter()
     deadline = start + budget if budget is not None else None
 
@@ -254,24 +380,53 @@ def solve_cubes(circuit: Circuit,
     sim_seconds = time.perf_counter() - t0
 
     cutter = cutter or CutterOptions()
-    cube_set = generate_cubes(circuit, objectives, options=cutter,
-                              correlations=correlations, workers=workers)
-    if tracer is not None:
-        tracer.emit("cube_generated", cubes=len(cube_set.cubes),
-                    refuted=len(cube_set.refuted), trivial=cube_set.trivial,
-                    lookaheads=cube_set.lookaheads,
-                    seconds=round(cube_set.seconds, 6))
+    outcomes: Dict[int, CubeOutcome] = {}
+    depths: Dict[int, int] = {}
+    resumed = 0
+    if resumed_checkpoint is not None:
+        # The cube tree comes from the checkpoint, not the cutter: the
+        # partition must be byte-identical to the one the statuses and
+        # lemma pool were recorded under.
+        cube_set, resumed = _restore_cubes(resumed_checkpoint, outcomes,
+                                           depths, tracer)
+    else:
+        cube_set = generate_cubes(circuit, objectives, options=cutter,
+                                  correlations=correlations, workers=workers)
+        if tracer is not None:
+            tracer.emit("cube_generated", cubes=len(cube_set.cubes),
+                        refuted=len(cube_set.refuted),
+                        trivial=cube_set.trivial,
+                        lookaheads=cube_set.lookaheads,
+                        seconds=round(cube_set.seconds, 6))
+        for cube in cube_set.cubes:
+            outcomes[cube.index] = CubeOutcome(cube.index,
+                                               list(cube.literals))
+            depths[cube.index] = cube.depth
+        for cube in cube_set.refuted:
+            outcomes[cube.index] = CubeOutcome(cube.index,
+                                               list(cube.literals),
+                                               status=REFUTED)
+            depths[cube.index] = cube.depth
+
+    checkpointer = None
+    if checkpoint_path is not None:
+        from ..durable.checkpoint import exact_hash
+        if resumed_checkpoint is not None:
+            digest, exact = (resumed_checkpoint.digest,
+                             resumed_checkpoint.exact)
+        else:
+            from ..serve.fingerprint import fingerprint as _fingerprint
+            digest, exact = _fingerprint(circuit).digest, exact_hash(circuit)
+        checkpointer = _Checkpointer(checkpoint_path, checkpoint_every,
+                                     digest, exact, objectives, outcomes,
+                                     depths, tracer=tracer)
+    seed_pool = resumed_checkpoint.lemmas if resumed_checkpoint else None
 
     report = CubeReport(result=SolverResult(status=UNKNOWN),
                         workers=workers,
                         generation_seconds=cube_set.seconds,
-                        lookaheads=cube_set.lookaheads)
-    outcomes: Dict[int, CubeOutcome] = {}
-    for cube in cube_set.cubes:
-        outcomes[cube.index] = CubeOutcome(cube.index, list(cube.literals))
-    for cube in cube_set.refuted:
-        outcomes[cube.index] = CubeOutcome(cube.index, list(cube.literals),
-                                           status=REFUTED)
+                        lookaheads=cube_set.lookaheads,
+                        resumed=resumed)
 
     def finish(result: SolverResult) -> CubeReport:
         result.engine = "cube"
@@ -281,6 +436,10 @@ def solve_cubes(circuit: Circuit,
         report.cubes = [outcomes[i] for i in sorted(outcomes)]
         report.pruned = sum(1 for c in report.cubes if c.status == PRUNED)
         report.elapsed = result.time_seconds
+        if checkpointer is not None and outcomes:
+            # Final cut: a budget-exhausted (UNKNOWN) run resumes from
+            # exactly where it stopped.
+            checkpointer.save()
         if tracer is not None:
             tracer.emit("cube_end", status=result.status,
                         cubes=len(report.cubes), pruned=report.pruned,
@@ -314,12 +473,14 @@ def solve_cubes(circuit: Circuit,
     if workers == 0:
         return _conquer_inprocess(
             circuit, objectives, cube_set, base_options, correlations,
-            limits, deadline, outcomes, tracer, finish)
+            limits, deadline, outcomes, tracer, finish,
+            checkpointer=checkpointer, seed_pool=seed_pool)
     return _conquer_workers(
         circuit, objectives, cube_set, kind, preset_name, options, seed,
         correlations, limits, deadline, mem_limit_mb, grace_seconds,
         max_retries, certify, share_lemmas, faults, start_method,
-        outcomes, report, tracer, finish)
+        outcomes, report, tracer, finish,
+        checkpointer=checkpointer, seed_pool=seed_pool)
 
 
 # ----------------------------------------------------------------------
@@ -328,12 +489,21 @@ def solve_cubes(circuit: Circuit,
 
 def _conquer_inprocess(circuit, objectives, cube_set, base_options,
                        correlations, limits, deadline, outcomes, tracer,
-                       finish) -> CubeReport:
+                       finish, checkpointer=None,
+                       seed_pool=None) -> CubeReport:
     """One shared engine, cubes in sequence: the learned-clause database
     *is* the sharing bus, and core pruning works exactly as in the
     distributed mode."""
     solver = CircuitSolver(circuit, base_options)
     solver.correlations = correlations  # skip the second simulation pass
+    if seed_pool:
+        from .sharing import inject_csat_lemmas
+        inject_csat_lemmas(solver.engine, seed_pool)
+    if checkpointer is not None:
+        from .sharing import collect_csat_lemmas
+        # Between cubes the engine sits at decision level 0, so its root
+        # units + learned binaries are exactly the resumable pool.
+        checkpointer.lemmas_fn = lambda: collect_csat_lemmas(solver.engine)
     merged = SolverStats()
     sat_result: Optional[SolverResult] = None
     unknown = False
@@ -361,6 +531,8 @@ def _conquer_inprocess(circuit, objectives, cube_set, base_options,
             tracer.emit("cube_result", cube=cube.index, status=result.status,
                         seconds=round(result.time_seconds, 6),
                         core=len(result.core) if result.core else None)
+        if checkpointer is not None:
+            checkpointer.completed()
         if result.status == SAT:
             sat_result = result
             break
@@ -404,8 +576,17 @@ def _conquer_workers(circuit, objectives, cube_set, kind, preset_name,
                      options, seed, correlations, limits, deadline,
                      mem_limit_mb, grace_seconds, max_retries, certify,
                      share_lemmas, faults, start_method, outcomes, report,
-                     tracer, finish) -> CubeReport:
+                     tracer, finish, checkpointer=None,
+                     seed_pool=None) -> CubeReport:
     knowledge = SharedKnowledge(classes=serialize_classes(correlations))
+    if seed_pool:
+        # Re-injected checkpoint pool: already counted as shared by the
+        # run that earned it, so it seeds workers without inflating
+        # this run's lemmas_shared.
+        knowledge.absorb(seed_pool)
+    if checkpointer is not None:
+        checkpointer.lemmas_fn = \
+            lambda: [list(c) for c in knowledge.lemmas]
     pending = deque((cube, 0) for cube in cube_set.cubes)
     active: List[WorkerHandle] = []
     failures: List[WorkerFailure] = []
@@ -512,6 +693,7 @@ def _conquer_workers(circuit, objectives, cube_set, kind, preset_name,
                 cube_out = outcomes[handle.cube.index]
                 cube_out.attempts = handle.attempt + 1
                 cube_out.seconds += outcome.seconds
+                terminal = True
                 if outcome.ok:
                     result = outcome.result
                     cube_out.status = result.status
@@ -536,10 +718,19 @@ def _conquer_workers(circuit, objectives, cube_set, kind, preset_name,
                     failures.append(failure)
                     cube_out.status = failure.kind
                     cube_out.detail = failure.detail
+                    if share_lemmas and outcome.lemmas:
+                        # Salvaged from a dying worker (TIMEOUT/MEMOUT
+                        # flush): the clauses are implied by
+                        # circuit ∧ objectives, so retries and sibling
+                        # cubes can start warm from them.
+                        new = knowledge.absorb(outcome.lemmas)
+                        cube_out.lemmas_exported += new
+                        report.lemmas_shared += new
                     if tracer is not None:
                         tracer.emit("cube_result", cube=handle.cube.index,
                                     status=failure.kind,
-                                    seconds=round(outcome.seconds, 6))
+                                    seconds=round(outcome.seconds, 6),
+                                    salvaged=len(outcome.lemmas or ()))
                     left = remaining()
                     if (failure.kind in RETRYABLE
                             and handle.attempt < max_retries
@@ -557,6 +748,9 @@ def _conquer_workers(circuit, objectives, cube_set, kind, preset_name,
                                 labelnames=("after",),
                             ).labels(after=failure.kind).inc()
                         pending.appendleft((handle.cube, handle.attempt + 1))
+                        terminal = False
+                if terminal and checkpointer is not None:
+                    checkpointer.completed()
             active = still_active
             if win_result is not None:
                 for handle in active:

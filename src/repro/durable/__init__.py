@@ -1,0 +1,24 @@
+"""Durability and crash recovery: journal, checkpoints, chaos harness.
+
+This package makes the layers above the runtime survive process death:
+
+* :mod:`repro.durable.journal` — the serve node's append-only JSONL
+  write-ahead log.  Finished jobs rehydrate the answer cache on boot;
+  queued/in-flight jobs are re-admitted under their idempotency keys.
+* :mod:`repro.durable.checkpoint` — atomic, fingerprint-stamped
+  checkpoints for resumable cube-and-conquer (``repro cube --resume``).
+* :mod:`repro.durable.chaos` — the kill → restart → recover harness
+  behind ``repro chaos`` (imported lazily; it drives subprocesses).
+"""
+
+from .checkpoint import (CHECKPOINT_VERSION, CheckpointError, CubeCheckpoint,
+                         exact_hash, load_checkpoint, save_checkpoint)
+from .journal import (JOURNAL_VERSION, Journal, JournalError, ReplayState,
+                      answer_digest, read_journal, replay_journal)
+
+__all__ = [
+    "CHECKPOINT_VERSION", "CheckpointError", "CubeCheckpoint",
+    "exact_hash", "load_checkpoint", "save_checkpoint",
+    "JOURNAL_VERSION", "Journal", "JournalError", "ReplayState",
+    "answer_digest", "read_journal", "replay_journal",
+]

@@ -1,0 +1,166 @@
+"""Resumable cube-and-conquer: atomic checkpoints of a conquest in flight.
+
+:func:`repro.cube.solve_cubes` can persist its whole working state —
+the cube tree, per-cube outcomes, and the deduped shared-lemma pool —
+to a single JSON file, atomically replaced (tmp + ``os.replace``) every
+N cube completions.  ``repro cube --resume PATH`` reloads it, skips
+every cube that is already closed (UNSAT / REFUTED / PRUNED), and
+re-injects the lemma pool so the surviving cubes start warm.
+
+Soundness: the lemma pool obeys PR 4's sharing contract — every lemma
+is a consequence of ``circuit AND objectives``, valid only for *that*
+circuit under *those* objectives, expressed in *that* node numbering.
+A checkpoint therefore records three identities and refuses to resume
+unless all match:
+
+* the schema ``version`` (a future format is refused, not misread);
+* the canonical fingerprint ``digest`` (semantic identity up to input
+  permutation — catches "wrong instance entirely");
+* an ``exact`` structural hash over the literal node numbering (the
+  canonical digest is isomorphism-invariant, but lemma literals are
+  raw node ids, so an isomorphic-but-renumbered circuit must still be
+  refused) plus the exact objectives list.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..circuit.netlist import Circuit
+from ..errors import ReproError
+
+#: Checkpoint schema version; bump on any incompatible change.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be loaded or does not match this run."""
+
+
+def exact_hash(circuit: Circuit) -> str:
+    """Node-numbering-sensitive structural hash of a circuit.
+
+    Two circuits get the same hash iff they have identical node ids,
+    fanin literals, inputs and outputs — exactly the condition under
+    which raw node-literal lemmas transfer between them.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(circuit.num_nodes).encode())
+    h.update(b"|i")
+    h.update(",".join(str(n) for n in circuit.inputs).encode())
+    h.update(b"|o")
+    h.update(",".join(str(l) for l in circuit.outputs).encode())
+    for node in circuit.and_nodes():
+        a, b = circuit.fanins(node)
+        h.update("|{}:{}:{}".format(node, a, b).encode())
+    return h.hexdigest()
+
+
+@dataclass
+class CubeCheckpoint:
+    """One conquest's resumable state."""
+
+    digest: str                 # canonical fingerprint digest
+    exact: str                  # exact_hash of the circuit
+    objectives: List[int]
+    #: per-cube state dicts (CubeOutcome.as_dict shape, plus "depth").
+    cubes: List[Dict[str, Any]] = field(default_factory=list)
+    #: the deduped shared-lemma pool at checkpoint time.
+    lemmas: List[List[int]] = field(default_factory=list)
+    completed: int = 0          # cubes closed when the checkpoint was cut
+    created: float = 0.0
+    version: int = CHECKPOINT_VERSION
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"v": self.version, "digest": self.digest,
+                "exact": self.exact,
+                "objectives": list(self.objectives),
+                "cubes": self.cubes,
+                "lemmas": [list(c) for c in self.lemmas],
+                "completed": self.completed, "created": self.created}
+
+    def validate_for(self, circuit: Circuit,
+                     objectives: Sequence[int]) -> None:
+        """Refuse to resume against the wrong circuit or objectives."""
+        if self.version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                "checkpoint has version {}; this build reads version {} — "
+                "refusing to misread it".format(self.version,
+                                                CHECKPOINT_VERSION))
+        from ..serve.fingerprint import fingerprint
+        fp = fingerprint(circuit)
+        if fp.digest != self.digest:
+            raise CheckpointError(
+                "checkpoint belongs to a different instance "
+                "(fingerprint {}… vs this circuit's {}…); its lemmas and "
+                "cube statuses do not transfer".format(
+                    self.digest[:12], fp.digest[:12]))
+        if exact_hash(circuit) != self.exact:
+            raise CheckpointError(
+                "checkpoint circuit is isomorphic but differently "
+                "numbered; lemma literals do not transfer — regenerate "
+                "the circuit from the same source or start fresh")
+        if list(objectives) != list(self.objectives):
+            raise CheckpointError(
+                "checkpoint was cut under different objectives "
+                "({} vs {}); shared lemmas are only valid for "
+                "circuit AND objectives".format(
+                    list(self.objectives), list(objectives)))
+
+
+def save_checkpoint(path: str, checkpoint: CubeCheckpoint) -> None:
+    """Atomically write a checkpoint (tmp + fsync + ``os.replace``)."""
+    checkpoint.created = time.time()
+    tmp = "{}.tmp.{}".format(path, os.getpid())
+    with open(tmp, "w") as fh:
+        json.dump(checkpoint.as_dict(), fh, separators=(",", ":"))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str) -> CubeCheckpoint:
+    """Load a checkpoint; raises :class:`CheckpointError` on any defect.
+
+    Unlike the journal there is no torn-line tolerance to need: the file
+    is replaced atomically, so it is either a complete JSON document or
+    absent.
+    """
+    try:
+        with open(path) as fh:
+            raw = json.load(fh)
+    except OSError as exc:
+        raise CheckpointError("cannot read checkpoint {}: {}".format(
+            path, exc))
+    except ValueError as exc:
+        raise CheckpointError(
+            "checkpoint {} is not valid JSON ({}); it was not written by "
+            "this tool or the filesystem lost the atomic replace".format(
+                path, exc))
+    if not isinstance(raw, dict):
+        raise CheckpointError("checkpoint {} is not a JSON object".format(
+            path))
+    version = raw.get("v")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            "checkpoint {} has version {!r}; this build reads version {} — "
+            "refusing to misread it".format(path, version,
+                                            CHECKPOINT_VERSION))
+    try:
+        return CubeCheckpoint(
+            digest=raw["digest"], exact=raw["exact"],
+            objectives=[int(l) for l in raw["objectives"]],
+            cubes=list(raw.get("cubes") or []),
+            lemmas=[[int(l) for l in clause]
+                    for clause in raw.get("lemmas") or []],
+            completed=int(raw.get("completed", 0)),
+            created=float(raw.get("created", 0.0)),
+            version=int(version))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError("checkpoint {} is malformed: {}".format(
+            path, exc))

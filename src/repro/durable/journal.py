@@ -1,0 +1,297 @@
+"""Crash-safe write-ahead journal for the serving layer.
+
+The serve node records every job-lifecycle transition to an append-only
+JSONL file *before* it becomes externally visible, so a ``kill -9`` can
+lose at most work-in-progress — never a certified answer and never the
+knowledge that a job was admitted:
+
+``{"kind": "journal", "v": 1}``
+    Header record; a journal whose version does not match is refused
+    (schema changes must not be silently misread).
+``{"kind": "admitted", "key": ..., "job": ..., "digest": ..., ...}``
+    A request passed admission.  Carries everything needed to rebuild
+    and re-admit the request after a crash: the circuit source text,
+    engine, preset, limits, priority, label and the idempotency key.
+``{"kind": "started", "key": ..., "job": ...}``
+    The job reached a worker thread (diagnostic only — a started-but-
+    unfinished job replays exactly like a queued one).
+``{"kind": "finished", "key": ..., "status": ..., "answer": ...}``
+    The job completed.  Decisive answers (SAT/UNSAT) carry the canonical
+    model bits and provenance so boot replay can rehydrate the answer
+    cache, plus an ``answer`` digest for cross-run consistency checks.
+``{"kind": "cancelled", "key": ...}``
+    The job was cancelled at shutdown; terminal, never re-admitted.
+
+Durability contract: ``finished`` records are fsynced before the job's
+result is published to any client, so every *served* answer survives a
+crash.  Replay (:func:`replay_journal`) is a pure read keyed on the
+idempotency key — running it twice yields the same state — and skips
+torn trailing lines with a counted warning, exactly like
+:func:`repro.obs.summary.read_trace` does for traces.
+
+Compaction rewrites the file atomically (tmp + ``os.replace``) keeping
+one ``finished``/``cancelled`` record per terminal job and the
+``admitted`` record of every live one, so the journal stays proportional
+to the working set, not to the server's lifetime.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import ReproError
+from ..obs.metrics import default_registry
+
+#: Journal schema version; bump on any incompatible record change.
+JOURNAL_VERSION = 1
+
+#: Record kinds.
+KIND_HEADER = "journal"
+KIND_ADMITTED = "admitted"
+KIND_STARTED = "started"
+KIND_FINISHED = "finished"
+KIND_CANCELLED = "cancelled"
+
+_TERMINAL = (KIND_FINISHED, KIND_CANCELLED)
+
+
+class JournalError(ReproError):
+    """A journal could not be read safely (version/format mismatch)."""
+
+
+def answer_digest(status: str, model_bits: Optional[List[int]]) -> str:
+    """Stable digest of a decisive answer (status + canonical bits).
+
+    Used by the recovery invariants: two completions of the same job
+    must agree on this digest, and a served answer's digest must still
+    be present after a crash-restart cycle.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(status.encode("utf-8"))
+    h.update(b"|")
+    h.update(",".join(str(b) for b in (model_bits or [])).encode("utf-8"))
+    return h.hexdigest()
+
+
+class Journal:
+    """Append-only JSONL write-ahead log with atomic compaction.
+
+    Thread-safe; the scheduler's admission path and worker threads
+    append concurrently.  ``fsync=True`` (the default) makes every
+    append durable before it returns — the serving layer relies on this
+    for ``finished`` records.
+    """
+
+    def __init__(self, path: str, fsync: bool = True,
+                 compact_every: int = 4096):
+        if compact_every < 1:
+            raise ValueError("compact_every must be >= 1")
+        self.path = path
+        self.fsync = fsync
+        self.compact_every = compact_every
+        self._lock = threading.Lock()
+        self._fh = None
+        self._since_compact = 0
+        self.appended = 0
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def _open(self):
+        if self._fh is None:
+            fresh = not os.path.exists(self.path) \
+                or os.path.getsize(self.path) == 0
+            self._fh = open(self.path, "a")
+            if fresh:
+                self._write({"kind": KIND_HEADER, "v": JOURNAL_VERSION})
+        return self._fh
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    def append(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Durably append one record; returns it (with its timestamp)."""
+        record = {"kind": kind, "t": round(time.time(), 3)}
+        record.update(fields)
+        with self._lock:
+            self._open()
+            self._write(record)
+            self.appended += 1
+            self._since_compact += 1
+        registry = default_registry()
+        if registry is not None:
+            registry.counter("repro_journal_records_total",
+                             "Journal records appended, by kind",
+                             labelnames=("kind",)).labels(kind).inc()
+        return record
+
+    def flush(self) -> None:
+        """Flush + fsync whatever is buffered (idempotent)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                try:
+                    os.fsync(self._fh.fileno())
+                except OSError:
+                    pass
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                try:
+                    os.fsync(self._fh.fileno())
+                except OSError:
+                    pass
+                self._fh.close()
+                self._fh = None
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+
+    @property
+    def due_for_compaction(self) -> bool:
+        with self._lock:
+            return self._since_compact >= self.compact_every
+
+    def compact(self, records: List[Dict[str, Any]]) -> None:
+        """Atomically replace the journal with ``records`` (plus header).
+
+        The caller supplies the live view (typically
+        ``replay_journal(path).live_records()``); a crash during
+        compaction leaves either the old or the new file, never a mix.
+        """
+        tmp = self.path + ".tmp"
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                self._fh.close()
+                self._fh = None
+            with open(tmp, "w") as fh:
+                fh.write(json.dumps({"kind": KIND_HEADER,
+                                     "v": JOURNAL_VERSION},
+                                    separators=(",", ":")) + "\n")
+                for record in records:
+                    fh.write(json.dumps(record,
+                                        separators=(",", ":")) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+            self._since_compact = 0
+
+
+# ----------------------------------------------------------------------
+# Reading / replay
+# ----------------------------------------------------------------------
+
+def read_journal(path: str,
+                 skipped: Optional[List[int]] = None) -> List[Dict[str, Any]]:
+    """All well-formed records of a journal file, in order.
+
+    Torn or corrupt lines (a crash mid-append leaves at most one) are
+    skipped; their 1-based line numbers are appended to ``skipped`` when
+    given.  A header whose version does not match raises
+    :class:`JournalError` — silently misreading a future schema would be
+    worse than refusing to start.
+    """
+    records: List[Dict[str, Any]] = []
+    try:
+        fh = open(path)
+    except OSError:
+        return records
+    with fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                if skipped is not None:
+                    skipped.append(line_no)
+                continue
+            if not isinstance(record, dict) or "kind" not in record:
+                if skipped is not None:
+                    skipped.append(line_no)
+                continue
+            if record["kind"] == KIND_HEADER:
+                version = record.get("v")
+                if version != JOURNAL_VERSION:
+                    raise JournalError(
+                        "journal {} has version {!r}; this build reads "
+                        "version {} — refusing to misread it".format(
+                            path, version, JOURNAL_VERSION))
+                continue
+            records.append(record)
+    return records
+
+
+@dataclass
+class ReplayState:
+    """The journal reduced to its live view, keyed on idempotency key."""
+
+    #: key -> finished record (the latest one; re-finishes must agree).
+    finished: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: key -> cancelled record (terminal, never re-admitted).
+    cancelled: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: key -> admitted record for jobs with no terminal record yet —
+    #: these are re-admitted on boot.
+    pending: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: key -> admitted record for *every* admitted job (terminal or not).
+    admitted: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    records: int = 0
+    skipped: int = 0
+
+    def live_records(self) -> List[Dict[str, Any]]:
+        """The compacted journal body equivalent to this state."""
+        live: List[Dict[str, Any]] = []
+        for key, record in self.pending.items():
+            live.append(record)
+        for key, record in self.finished.items():
+            admitted = self.admitted.get(key)
+            if admitted is not None:
+                live.append(admitted)
+            live.append(record)
+        for key, record in self.cancelled.items():
+            live.append(record)
+        return live
+
+
+def replay_journal(path: str,
+                   skipped: Optional[List[int]] = None) -> ReplayState:
+    """Fold a journal into its live state (a pure, idempotent read)."""
+    lines: List[int] = [] if skipped is None else skipped
+    state = ReplayState()
+    for record in read_journal(path, skipped=lines):
+        state.records += 1
+        key = record.get("key")
+        if not key:
+            continue
+        kind = record["kind"]
+        if kind == KIND_ADMITTED:
+            state.admitted[key] = record
+            if key not in state.finished and key not in state.cancelled:
+                state.pending[key] = record
+        elif kind == KIND_FINISHED:
+            state.finished[key] = record
+            state.pending.pop(key, None)
+            state.cancelled.pop(key, None)
+        elif kind == KIND_CANCELLED:
+            if key not in state.finished:
+                state.cancelled[key] = record
+            state.pending.pop(key, None)
+        # KIND_STARTED is diagnostic only: a started-but-unfinished job
+        # replays exactly like a queued one.
+    state.skipped = len(lines)
+    return state

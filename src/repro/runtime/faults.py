@@ -120,3 +120,30 @@ class FaultPlan:
 
 #: A plan that injects nothing — the default everywhere.
 NO_FAULTS = FaultPlan()
+
+
+@dataclass
+class KillPlan:
+    """Seeded kill-at-a-random-point schedule for whole-process chaos.
+
+    Where :class:`FaultPlan` makes one *worker* misbehave, a KillPlan
+    decides when the chaos harness (:mod:`repro.durable.chaos`)
+    SIGKILLs an entire serve node or conquer driver mid-workload: round
+    ``i`` of a run gets a delay drawn uniformly from
+    ``[min_delay, max_delay)``, deterministic in ``(seed, i)`` so a
+    failing chaos round can be replayed exactly.
+    """
+
+    min_delay: float = 0.2
+    max_delay: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min_delay < 0 or self.max_delay < self.min_delay:
+            raise ValueError("need 0 <= min_delay <= max_delay")
+
+    def delay_for(self, round_index: int) -> float:
+        """Seconds to let round ``round_index`` run before the kill."""
+        rng = random.Random("kill:{}:{}".format(self.seed, round_index))
+        return self.min_delay + rng.random() * (self.max_delay
+                                                - self.min_delay)

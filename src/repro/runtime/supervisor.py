@@ -23,6 +23,7 @@ Worker lifecycle events (``worker_spawn`` / ``worker_result`` /
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import multiprocessing.connection
 import os
@@ -245,6 +246,7 @@ class WorkerHandle:
                             detail=outcome.failure.detail,
                             seconds=round(outcome.seconds, 6))
         self._merge_child_trace(tracer)
+        self._read_salvage(outcome, tracer)
         if tracer is not None and self.span is not None:
             status = (outcome.result.status if outcome.ok
                       else outcome.failure.kind)
@@ -252,6 +254,47 @@ class WorkerHandle:
                         maxrss_mb=outcome.maxrss_mb)
         self._record_metrics(outcome)
         return outcome
+
+    def _read_salvage(self, outcome: WorkerOutcome, tracer=None) -> None:
+        """Recover the lemma pool a dying worker flushed (if any).
+
+        Only TIMEOUT/MEMOUT deaths carry a meaningful flush — the worker
+        was healthy, just out of budget — and a successful payload already
+        ships its lemmas inline.  The file is deleted unconditionally."""
+        path = self.job.salvage_path
+        if path is None:
+            return
+        self.job.salvage_path = None      # read exactly once
+        try:
+            if (outcome.failure is not None
+                    and outcome.failure.kind in (TIMEOUT, MEMOUT)
+                    and not outcome.lemmas):
+                with open(path) as fh:
+                    data = json.load(fh)
+                lemmas = [[int(l) for l in clause]
+                          for clause in (data.get("lemmas") or [])
+                          ] if isinstance(data, dict) and data.get("v") == 1 \
+                    else []
+                if lemmas:
+                    outcome.lemmas = lemmas
+                    registry = default_registry()
+                    if registry is not None:
+                        registry.counter(
+                            "repro_lemmas_salvaged_total",
+                            "Lemmas recovered from workers killed by "
+                            "the watchdog or a memory cap",
+                        ).inc(len(lemmas))
+                    if tracer is not None:
+                        tracer.emit("lemmas_salvaged", engine=self.job.name,
+                                    index=self.index, count=len(lemmas),
+                                    after=outcome.failure.kind)
+        except (OSError, ValueError, TypeError):
+            pass  # torn/absent flush: salvage is best effort
+        finally:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
 
     def _merge_child_trace(self, tracer) -> None:
         """Fold the worker's own trace file (if any) into the parent
@@ -361,6 +404,14 @@ def spawn_worker(job: WorkerJob,
         job.span_id = span.span_id
         job.parent_span = span.parent_id
         spawn_t = tracer.now()
+    if job.export_lemmas and job.salvage_path is None:
+        # Lemma-exporting jobs get a salvage file: a worker killed by the
+        # watchdog (or dying of MemoryError) flushes its pool there so the
+        # retry and sibling cubes still inherit what it learned.
+        fd, salvage_path = tempfile.mkstemp(prefix="repro-worker-salvage-",
+                                            suffix=".json")
+        os.close(fd)
+        job.salvage_path = salvage_path
     ctx = _context(start_method)
     parent_conn, child_conn = ctx.Pipe(duplex=False)
     proc = ctx.Process(target=run_worker, args=(child_conn, job),

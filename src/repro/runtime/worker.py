@@ -22,6 +22,7 @@ Everything here must stay importable at module top level so the
 
 from __future__ import annotations
 
+import json
 import os
 import signal
 import time
@@ -78,6 +79,11 @@ class WorkerJob:
     #: Ship root-level units + binary learned clauses back in the payload
     #: (``"lemmas"`` key) for injection into not-yet-started cubes.
     export_lemmas: bool = False
+    #: File this worker flushes its lemma pool to when it is about to die
+    #: (SIGTERM from the watchdog, MemoryError) — the payload channel is
+    #: gone by then.  The supervisor mints the path, reads it back on a
+    #: TIMEOUT/MEMOUT reap, and always deletes it.
+    salvage_path: Optional[str] = None
     # --- cross-process trace correlation (repro.obs.context) ----------
     #: Path this worker writes its own JSONL trace to; the supervisor
     #: merges the file back into the parent trace at reap and deletes
@@ -204,6 +210,49 @@ def _apply_post_fault(kind: Optional[str], job: WorkerJob,
     return payload
 
 
+class _Salvage:
+    """Best-effort lemma flush for a worker that is about to die.
+
+    The watchdog's SIGTERM (and the MemoryError path) arrive while the
+    payload pipe is useless — the solve never finished — but the engine's
+    root units and learned binaries are already sound facts about
+    circuit ∧ objectives.  Flushing them to ``salvage_path`` lets the
+    supervisor's retry and surviving sibling cubes start warm.
+
+    Everything here is best effort and must never mask the death: the
+    SIGTERM handler re-delivers the signal with the default disposition
+    restored so the parent still classifies the exit as a watchdog kill.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.collect = None   # installed once the engine exists
+
+    def install(self) -> None:
+        try:
+            signal.signal(signal.SIGTERM, self._on_term)
+        except (ValueError, OSError):
+            pass  # non-main thread or unsupported platform
+
+    def _on_term(self, signum, frame) -> None:
+        self.write()
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        os.kill(os.getpid(), signal.SIGTERM)
+
+    def write(self) -> None:
+        if self.collect is None:
+            return
+        try:
+            lemmas = [list(clause) for clause in self.collect()]
+            with open(self.path, "w") as fh:
+                json.dump({"v": 1, "lemmas": lemmas}, fh,
+                          separators=(",", ":"))
+                fh.flush()
+                os.fsync(fh.fileno())
+        except BaseException:  # noqa: BLE001 — dying anyway; stay silent
+            pass
+
+
 def _circuit_to_dimacs(lit: int) -> int:
     """Circuit literal -> DIMACS literal under the Tseitin var = node + 1."""
     var = (lit >> 1) + 1
@@ -215,7 +264,7 @@ def _dimacs_to_circuit(d: int) -> int:
     return 2 * node + (1 if d < 0 else 0)
 
 
-def _solve_job(job: WorkerJob, tracer=None) -> dict:
+def _solve_job(job: WorkerJob, tracer=None, salvage=None) -> dict:
     """Run the solve a job describes; returns the result payload dict."""
     circuit = job.circuit
     objectives = (list(job.objectives) if job.objectives is not None
@@ -248,6 +297,9 @@ def _solve_job(job: WorkerJob, tracer=None) -> dict:
         if job.seed_lemmas:
             from ..cube.sharing import inject_csat_lemmas
             inject_csat_lemmas(solver.engine, job.seed_lemmas)
+        if salvage is not None:
+            from ..cube.sharing import collect_csat_lemmas
+            salvage.collect = lambda: collect_csat_lemmas(solver.engine)
         result = solver.solve(objectives=objectives + assumptions,
                               limits=job.limits)
         core = result.core
@@ -267,6 +319,10 @@ def _solve_job(job: WorkerJob, tracer=None) -> dict:
                 # Shared lemmas hold for circuit AND objectives — exactly
                 # this formula — so they join the clause database directly.
                 solver.add_clause([_circuit_to_dimacs(l) for l in clause])
+        if salvage is not None:
+            from ..cube.sharing import collect_cnf_lemmas
+            salvage.collect = \
+                lambda: collect_cnf_lemmas(solver, circuit.num_nodes)
         result = solver.solve(
             assumptions=[_circuit_to_dimacs(l) for l in assumptions],
             limits=job.limits)
@@ -319,6 +375,12 @@ def _safe_send(conn, message: Tuple[str, Optional[dict]]) -> None:
 def run_worker(conn, job: WorkerJob) -> None:
     """Child-process entry point: solve, classify own failures, report."""
     tracer = None
+    salvage = None
+    if job.salvage_path is not None and job.export_lemmas:
+        # Installed before the fault injection so a hang-hard fault's
+        # SIG_IGN still wins (that fault exists to test SIGKILL escalation).
+        salvage = _Salvage(job.salvage_path)
+        salvage.install()
     try:
         _apply_mem_limit(job.mem_limit_mb)
         _apply_pre_fault(job.fault, job.mem_limit_mb)
@@ -334,7 +396,7 @@ def run_worker(conn, job: WorkerJob) -> None:
                                       parent_id=job.parent_span)
             tracer = _CoarseTracer(JsonlTracer(job.trace_path,
                                                context=context))
-        payload = _solve_job(job, tracer)
+        payload = _solve_job(job, tracer, salvage)
         payload["maxrss_mb"] = _maxrss_mb()
         payload = _apply_post_fault(job.fault, job, payload)
         # Flush the trace before the result crosses the pipe: the parent
@@ -343,6 +405,8 @@ def run_worker(conn, job: WorkerJob) -> None:
         if payload is not None:
             _safe_send(conn, ("result", payload))
     except MemoryError:
+        if salvage is not None:
+            salvage.write()
         tracer = _close_tracer(tracer)
         _safe_send(conn, ("failure", {
             "kind": MEMOUT,

@@ -191,6 +191,37 @@ class AnswerCache:
         self._append(entry)
         return True
 
+    def restore(self, digest: str, limits: str, engine: str, status: str,
+                model_bits: Optional[List[int]] = None,
+                provenance: Optional[Dict[str, Any]] = None) -> bool:
+        """Rehydrate one decisive answer from durable state (boot replay).
+
+        Unlike :meth:`store` this takes the raw journal fields — digest
+        and canonical bits — because no circuit object exists at replay
+        time.  Soundness is unchanged: SAT entries still pass through
+        the :meth:`lookup` re-certification gate before being served.
+        Existing entries win (they may carry fresher hit counts).
+        """
+        if status not in (SAT, UNSAT):
+            return False
+        if status == UNSAT and not self.cache_unsat:
+            return False
+        entry = CacheEntry(digest=digest, limits=limits, engine=engine,
+                           status=status,
+                           model_bits=(list(model_bits)
+                                       if status == SAT else None),
+                           provenance=dict(provenance or {}))
+        with self._lock:
+            if entry.key in self._entries:
+                return False
+            self._entries[entry.key] = entry
+            self._entries.move_to_end(entry.key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        self._append(entry)
+        return True
+
     def _reject(self, key: str, detail: str) -> None:
         """Evict an entry that failed re-certification (tampered/colliding)."""
         with self._lock:

@@ -24,6 +24,7 @@ import heapq
 import itertools
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -33,6 +34,8 @@ from ..result import Limits, SAT, UNKNOWN, UNSAT
 from ..runtime.supervisor import (CERTIFY_LEVELS, CERTIFY_SAT,
                                   run_supervised)
 from ..runtime.worker import WORKER_KINDS, WorkerJob
+from ..durable.journal import (KIND_ADMITTED, KIND_CANCELLED, KIND_FINISHED,
+                               KIND_STARTED, answer_digest, replay_journal)
 from ..obs.context import child_context, context_of
 from ..obs.metrics import default_registry
 from ..obs.trace import Tracer
@@ -104,6 +107,15 @@ class JobRequest:
     fault: Optional[str] = None       # deterministic fault injection (tests)
     cube_workers: int = 2
     fp: Optional[Fingerprint] = None
+    #: Client-supplied idempotency key: re-submitting the same key never
+    #: double-solves (the scheduler returns the original job).  Minted
+    #: server-side when absent so every journaled job has one.
+    idempotency_key: Optional[str] = None
+    #: The submission as re-parsable source (``{"circuit": text,
+    #: "format": fmt}`` or ``{"instance": name}``), journaled so a
+    #: crashed server can re-admit the job on boot.  Built from the
+    #: circuit when absent.
+    source: Optional[Dict[str, Any]] = None
 
 
 class _JobTracer(Tracer):
@@ -170,6 +182,7 @@ class Job:
             "job": self.id,
             "label": self.request.label,
             "engine": self.request.engine,
+            "key": self.request.idempotency_key,
             "state": self.state,
             "cached": self.cached,
             "deduped": self.deduped,
@@ -192,7 +205,8 @@ class SolveScheduler:
                  grace_seconds: float = 1.0,
                  certify: str = CERTIFY_SAT,
                  max_wall_seconds: Optional[float] = None,
-                 tracer=None):
+                 tracer=None,
+                 journal=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_queue < 1:
@@ -207,7 +221,9 @@ class SolveScheduler:
         self.certify = certify
         self.max_wall_seconds = max_wall_seconds
         self.tracer = tracer
+        self.journal = journal           # durable.journal.Journal or None
         self._lock = threading.Lock()
+        self._idempotency: Dict[str, Job] = {}
         self._work = threading.Condition(self._lock)
         self._queue: List[Any] = []          # heap of (-prio, seq, job)
         self._seq = itertools.count()
@@ -241,12 +257,88 @@ class SolveScheduler:
                              labelnames=("code",)).labels(code).inc()
         return AdmissionError(code, message)
 
+    # ------------------------------------------------------------------
+    # Journal hooks (no-ops without a journal)
+    # ------------------------------------------------------------------
+
+    def _journal_append(self, kind: str, **fields: Any) -> None:
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(kind, **fields)
+        except OSError:
+            pass  # a full disk degrades durability, never availability
+
+    def _admitted_record(self, job: Job) -> Optional[Dict[str, Any]]:
+        """The journal fields that let a crashed server re-admit this job."""
+        if self.journal is None:
+            return None
+        request = job.request
+        source = request.source
+        if source is None:
+            from ..circuit.bench_io import write_bench
+            source = {"circuit": write_bench(request.circuit),
+                      "format": "bench"}
+        limits = None
+        if request.limits is not None:
+            limits = {k: v for k, v in (
+                ("max_seconds", request.limits.max_seconds),
+                ("max_conflicts", request.limits.max_conflicts),
+                ("max_decisions", request.limits.max_decisions))
+                if v is not None}
+        return {"key": request.idempotency_key, "job": job.id,
+                "digest": job.fp.digest,
+                "limits_class": limits_class(request.limits),
+                "engine": request.engine, "preset": request.preset,
+                "priority": request.priority, "label": request.label,
+                "cube_workers": request.cube_workers,
+                "limits": limits, "source": source}
+
+    def _journal_finish(self, job: Job, payload: Dict[str, Any],
+                        model_bits: Optional[List[int]] = None,
+                        deduped_into: Optional[str] = None) -> None:
+        """Durably record a completion *before* it becomes visible."""
+        if self.journal is None:
+            return
+        status = payload["status"]
+        record: Dict[str, Any] = {
+            "key": job.request.idempotency_key, "job": job.id,
+            # The *request* engine: it is part of the cache key; the
+            # engine that actually answered lives in the provenance.
+            "status": status, "engine": job.request.engine,
+            "digest": job.fp.digest,
+            "limits_class": limits_class(job.request.limits),
+            "cached": bool(payload.get("cached")), "deduped": job.deduped}
+        if deduped_into is not None:
+            record["deduped_into"] = deduped_into
+        if status in (SAT, UNSAT):
+            record["model_bits"] = model_bits
+            record["answer"] = answer_digest(status, model_bits)
+            record["provenance"] = {
+                "engine": payload.get("engine"),
+                "label": job.request.label,
+                "time_seconds": payload.get("time_seconds")}
+        self._journal_append(KIND_FINISHED, **record)
+        if self.journal.due_for_compaction:
+            try:
+                state = replay_journal(self.journal.path)
+                self.journal.compact(state.live_records())
+            except (OSError, ValueError):
+                pass
+
     def submit(self, request: JobRequest) -> Job:
         """Admit one request; raises :class:`AdmissionError` otherwise."""
         registry = default_registry()
         if registry is not None:
             registry.counter("repro_serve_submitted_total",
                              "Requests presented at the door").inc()
+        if request.idempotency_key:
+            # Idempotent re-submission: the same key never double-solves,
+            # whatever state the original job is in.
+            with self._lock:
+                existing = self._idempotency.get(request.idempotency_key)
+            if existing is not None:
+                return existing
         if request.engine not in SERVE_ENGINES:
             raise self._reject(REJECT_BAD_ENGINE,
                                "unknown engine {!r}; known: {}".format(
@@ -266,6 +358,10 @@ class SolveScheduler:
             else fingerprint(request.circuit)
         key = "{}|{}|{}".format(fp.digest, limits_class(request.limits),
                                 request.engine)
+        if not request.idempotency_key:
+            # Every journaled job carries a key so crash replay and
+            # client retries converge on one identity.
+            request.idempotency_key = uuid.uuid4().hex
         with self._lock:
             if self._closed:
                 raise self._reject(REJECT_DRAINING,
@@ -273,6 +369,7 @@ class SolveScheduler:
                                    "new work")
             job = Job("j{}".format(next(self._ids)), request, fp)
             self._jobs[job.id] = job
+            self._idempotency[request.idempotency_key] = job
             self.submitted += 1
         job.add_event("job_submit", label=request.label,
                       engine=request.engine, digest=fp.digest,
@@ -296,10 +393,22 @@ class SolveScheduler:
             if self.tracer is not None:
                 self.tracer.emit("cache_hit", job=job.id, digest=fp.digest,
                                  status=hit["status"])
-            job.finish(self._result_payload(job, hit, cached=True))
+            payload = self._result_payload(job, hit, cached=True)
+            record = self._admitted_record(job)
+            if record is not None:
+                self._journal_append(KIND_ADMITTED, **record)
+            bits = (model_to_bits(fp, hit.get("model"))
+                    if hit["status"] == SAT else None)
+            self._journal_finish(job, payload, bits)
+            job.finish(payload)
             with self._lock:
                 self.completed += 1
             return job
+
+        # The admitted record is built outside the lock (it may serialize
+        # the circuit) but appended inside it, so the journal order agrees
+        # with the admission order.
+        record = self._admitted_record(job)
 
         # 2. In-flight deduplication: identical work shares one solve.
         with self._lock:
@@ -312,16 +421,21 @@ class SolveScheduler:
                     registry.counter(
                         "repro_serve_dedup_total",
                         "Jobs folded into identical in-flight work").inc()
+                if record is not None:
+                    self._journal_append(KIND_ADMITTED, **record)
                 return job
             # 3. Admission control: bounded queue.
             depth = len(self._queue)
             if depth >= self.max_queue:
                 del self._jobs[job.id]
+                self._idempotency.pop(request.idempotency_key, None)
                 raise self._reject(
                     REJECT_QUEUE_FULL,
                     "queue is full ({} jobs); retry later".format(depth))
             self._inflight[key] = job
             job._dedup_key = key
+            if record is not None:
+                self._journal_append(KIND_ADMITTED, **record)
             heapq.heappush(self._queue,
                            (-request.priority, next(self._seq), job))
             if registry is not None:
@@ -367,6 +481,8 @@ class SolveScheduler:
         request = job.request
         job.state = RUNNING
         job.started = time.time()
+        self._journal_append(KIND_STARTED, key=request.idempotency_key,
+                             job=job.id)
         job.add_event("job_start", engine=request.engine)
         if self.tracer is not None:
             self.tracer.emit("job_start", job=job.id, engine=request.engine)
@@ -410,6 +526,11 @@ class SolveScheduler:
         if span is not None:
             tracer.emit("span_end", span=span.span_id,
                         status=payload["status"])
+        # Durability barrier: the completion hits the journal (fsynced)
+        # before any client — or follower — can observe the result.
+        bits = (model_to_bits(job.fp, model)
+                if payload["status"] == SAT and model is not None else None)
+        self._journal_finish(job, payload, bits)
         self._resolve_followers(job, payload, model)
         job.finish(payload)
         registry = default_registry()
@@ -517,6 +638,9 @@ class SolveScheduler:
                         follower.request.circuit, follower_model)
             follower.add_event("job_done", status=shared["status"],
                                deduped_into=primary.id)
+            follower_bits = bits if shared["status"] == SAT else None
+            self._journal_finish(follower, shared, follower_bits,
+                                 deduped_into=primary.id)
             follower.finish(shared)
             with self._lock:
                 self.completed += 1
@@ -582,6 +706,9 @@ class SolveScheduler:
                 if key and self._inflight.get(key) is job:
                     del self._inflight[key]
             for waiter in [job] + followers:
+                self._journal_append(
+                    KIND_CANCELLED, key=waiter.request.idempotency_key,
+                    job=waiter.id)
                 waiter.finish({"status": UNKNOWN, "model_size": 0,
                                "engine": None, "cached": False,
                                "failures": [{"kind": "LOST",
@@ -598,4 +725,6 @@ class SolveScheduler:
                 remaining = max(0.0, deadline - time.monotonic())
             thread.join(remaining)
             ok = ok and not thread.is_alive()
+        if self.journal is not None:
+            self.journal.flush()
         return ok

@@ -35,17 +35,19 @@ server.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from .. import __version__
 from ..circuit.source import read_circuit_text
+from ..durable.journal import Journal, ReplayState, replay_journal
 from ..errors import CircuitError, ParseError, ReproError, SolverError
-from ..obs.metrics import enable_metrics
-from ..result import Limits
+from ..obs.metrics import default_registry, enable_metrics
+from ..result import Limits, SAT, UNSAT
 from .cache import AnswerCache
 from .fingerprint import fingerprint
 from .scheduler import (AdmissionError, JobRequest, REJECT_DRAINING,
@@ -87,16 +89,32 @@ class ReproServer:
                  grace_seconds: float = 1.0,
                  certify: str = "sat",
                  max_wall_seconds: Optional[float] = None,
-                 tracer=None):
+                 tracer=None,
+                 journal_path: Optional[str] = None):
         # A serving node always measures itself: flip the process-wide
         # registry on so every layer under the scheduler records too.
         self.registry = enable_metrics()
+        self.tracer = tracer
+        self.cache = cache if cache is not None else AnswerCache()
+        # Crash safety: replay the write-ahead journal *before* serving —
+        # finished jobs rehydrate the answer cache, unfinished ones are
+        # re-admitted under their original idempotency keys.
+        self.journal: Optional[Journal] = None
+        self.recovery: Dict[str, int] = {}
+        state: Optional[ReplayState] = None
+        skipped: List[int] = []
+        if journal_path:
+            self.journal = Journal(journal_path)
+            if os.path.exists(journal_path):
+                state = replay_journal(journal_path, skipped=skipped)
+                # Boot compaction: drop superseded records and any torn
+                # trailing line the crash left behind.
+                self.journal.compact(state.live_records())
         self.scheduler = SolveScheduler(
-            workers=workers, cache=cache, max_queue=max_queue,
+            workers=workers, cache=self.cache, max_queue=max_queue,
             mem_limit_mb=mem_limit_mb, grace_seconds=grace_seconds,
             certify=certify, max_wall_seconds=max_wall_seconds,
-            tracer=tracer)
-        self.tracer = tracer
+            tracer=tracer, journal=self.journal)
         server = self
 
         class Handler(_ServeHandler):
@@ -114,6 +132,89 @@ class ReproServer:
         self._parse_memo: "OrderedDict[Tuple[Optional[str], str], Any]" = \
             OrderedDict()
         self._parse_lock = threading.Lock()
+        if state is not None:
+            self._recover(state, skipped)
+
+    # ------------------------------------------------------------------
+    # Crash recovery (boot-time journal replay)
+    # ------------------------------------------------------------------
+
+    def _request_from_record(self,
+                             record: Dict[str, Any]) -> Optional[JobRequest]:
+        """Rebuild a JobRequest from a journaled admission, or None."""
+        source = record.get("source") or {}
+        label = str(record.get("label") or "recovered")
+        try:
+            if source.get("instance"):
+                from ..bench.instances import instance_by_name
+                circuit = instance_by_name(str(source["instance"])).build()
+                fp = None
+            else:
+                circuit, fp = self.parse_request_circuit(
+                    str(source.get("circuit") or ""), label,
+                    source.get("format"))
+        except (ParseError, CircuitError, ReproError, KeyError):
+            return None
+        limits = None
+        raw = record.get("limits")
+        if raw:
+            try:
+                limits = Limits(
+                    max_conflicts=raw.get("max_conflicts"),
+                    max_decisions=raw.get("max_decisions"),
+                    max_seconds=raw.get("max_seconds")).validate()
+            except (AttributeError, TypeError, SolverError):
+                return None
+        try:
+            return JobRequest(
+                circuit=circuit, engine=str(record.get("engine") or "csat"),
+                preset=str(record.get("preset") or "explicit"),
+                limits=limits, priority=int(record.get("priority") or 0),
+                label=label,
+                cube_workers=int(record.get("cube_workers") or 2),
+                fp=fp, idempotency_key=record.get("key"), source=source)
+        except (TypeError, ValueError):
+            return None
+
+    def _recover(self, state: ReplayState, skipped: List[int]) -> None:
+        """Apply a replayed journal: rehydrate the cache, re-admit work."""
+        rehydrated = 0
+        for record in state.finished.values():
+            status = record.get("status")
+            if status not in (SAT, UNSAT):
+                continue
+            if self.cache.restore(
+                    str(record.get("digest") or ""),
+                    str(record.get("limits_class") or "unlimited"),
+                    str(record.get("engine") or "csat"), status,
+                    record.get("model_bits"), record.get("provenance")):
+                rehydrated += 1
+        replayed = failed = 0
+        registry = default_registry()
+        for record in state.pending.values():
+            request = self._request_from_record(record)
+            if request is None:
+                failed += 1
+                continue
+            try:
+                self.scheduler.submit(request)
+            except AdmissionError:
+                failed += 1
+                continue
+            replayed += 1
+            if registry is not None:
+                registry.counter(
+                    "repro_recovery_replayed_total",
+                    "Journaled jobs re-admitted after a restart").inc()
+        self.recovery = {"records": state.records, "replayed": replayed,
+                         "rehydrated": rehydrated, "failed": failed,
+                         "skipped_lines": len(skipped)}
+        if skipped:
+            import sys
+            print("repro serve: journal replay skipped {} torn/corrupt "
+                  "line(s)".format(len(skipped)), file=sys.stderr)
+        if self.tracer is not None:
+            self.tracer.emit("serve_recover", **self.recovery)
 
     def parse_request_circuit(self, text: str, label: str,
                               fmt: Optional[str]):
@@ -173,6 +274,10 @@ class ReproServer:
         if self.tracer is not None:
             self.tracer.emit("serve_drain", drain=drain)
         self.scheduler.close(drain=drain, timeout=timeout)
+        if self.journal is not None:
+            # The scheduler has quiesced: make the journal durable before
+            # the process can exit (SIGTERM drain relies on this).
+            self.journal.close()
         self.httpd.shutdown()
         self.httpd.server_close()
 
@@ -238,9 +343,12 @@ class _ServeHandler(BaseHTTPRequestHandler):
             self._send_json(200, {"ok": True, "version": __version__})
             return
         if path == "/status":
-            self._send_json(200, {"ok": True,
-                                  "scheduler":
-                                      self.repro_server.scheduler.stats()})
+            payload = {"ok": True,
+                       "scheduler": self.repro_server.scheduler.stats()}
+            if self.repro_server.journal is not None:
+                payload["journal"] = self.repro_server.journal.path
+                payload["recovery"] = self.repro_server.recovery
+            self._send_json(200, payload)
             return
         if path == "/metrics":
             body = self.repro_server.registry.render().encode("utf-8")
@@ -343,11 +451,17 @@ class _ServeHandler(BaseHTTPRequestHandler):
             self._error(400, "bad-request",
                         "priority and cube_workers must be integers")
             return
+        idempotency_key = body.get("idempotency_key")
+        if idempotency_key is not None:
+            idempotency_key = str(idempotency_key)[:200]
+        source = ({"instance": str(instance)} if instance
+                  else {"circuit": str(text), "format": body.get("format")})
         request = JobRequest(
             circuit=circuit, engine=str(body.get("engine") or "csat"),
             preset=str(body.get("preset") or "explicit"), limits=limits,
             priority=priority, label=label,
-            fault=body.get("fault"), cube_workers=cube_workers, fp=fp)
+            fault=body.get("fault"), cube_workers=cube_workers, fp=fp,
+            idempotency_key=idempotency_key, source=source)
         try:
             job = self.repro_server.scheduler.submit(request)
         except AdmissionError as exc:
