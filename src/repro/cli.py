@@ -44,6 +44,9 @@ conflicts) and ``--json`` (machine-readable result on stdout).
 Exit codes: 10 = SAT, 20 = UNSAT, 0 = success/UNKNOWN, 1 = check failed,
 2 = bad input (malformed file, unknown name, invalid circuit),
 130 = interrupted (Ctrl-C).  Malformed input never produces a traceback.
+``submit`` additionally maps an UNKNOWN answer caused by worker failures
+onto the failure taxonomy: 3 = TIMEOUT, 4 = MEMOUT, 5 = CRASHED,
+6 = CORRUPT_ANSWER, 7 = LOST.
 """
 
 from __future__ import annotations
@@ -61,7 +64,7 @@ from .circuit.cnf_convert import cnf_to_circuit
 from .core.solver import CircuitSolver, check_equivalence
 from .core.sweep import sat_sweep
 from .csat.options import preset
-from .errors import CircuitError, ParseError, SolverError
+from .errors import CircuitError, ParseError, ReproError, SolverError
 from .result import Limits
 
 _PRESETS = ("csat", "csat-jnode", "implicit", "explicit", "explicit-pair",
@@ -234,6 +237,7 @@ def _run_cubes(args, circuit, label: str, workers: int, tracer=None) -> int:
         report = solve_cubes(
             circuit, workers=workers, cutter=cutter,
             kind=getattr(args, "engine", "csat"), preset_name=args.preset,
+            backend=getattr(args, "backend", "legacy"),
             budget=args.budget, mem_limit_mb=args.mem_limit,
             grace_seconds=args.grace, max_retries=args.retries,
             certify=args.certify, faults=faults, trace=tracer,
@@ -543,7 +547,8 @@ def cmd_cube(args) -> int:
                                max_depth=args.max_depth)
         document = cube_bench_document(
             args.instance, workers_list, cutter=cutter, budget=args.budget,
-            preset_name=args.preset, mem_limit_mb=args.mem_limit,
+            preset_name=args.preset, backend=args.backend,
+            mem_limit_mb=args.mem_limit,
             grace_seconds=args.grace, max_retries=args.retries,
             certify=args.certify)
         if args.json:
@@ -697,6 +702,28 @@ def cmd_serve(args) -> int:
     return 0
 
 
+#: Exit codes surfacing the worker-failure taxonomy through ``submit``:
+#: a scripted caller can tell a budget kill from a crash without parsing
+#: stderr.  SAT/UNSAT keep their 10/20 codes; these only apply when the
+#: job came back UNKNOWN *because* workers failed.
+_FAILURE_EXIT_CODES = {"TIMEOUT": 3, "MEMOUT": 4, "CRASHED": 5,
+                       "CORRUPT_ANSWER": 6, "LOST": 7}
+
+
+def _failure_exit(result) -> int:
+    """UNKNOWN-with-failures exit code: the dominant failure kind.
+
+    The kind every failed worker agrees on wins; mixed kinds fall back
+    to the first one reported (the earliest, usually the root cause).
+    """
+    failures = result.get("failures") or []
+    kinds = [f.get("kind") for f in failures
+             if f.get("kind") in _FAILURE_EXIT_CODES]
+    if not kinds:
+        return 0
+    return _FAILURE_EXIT_CODES[kinds[0]]
+
+
 def cmd_submit(args) -> int:
     from .serve.client import ServeClient, ServeError
     client = ServeClient(args.host, args.port, timeout=args.timeout,
@@ -724,35 +751,254 @@ def cmd_submit(args) -> int:
                                                           "CANCELLED"):
             snap = client.wait_for(snap["job"], timeout=args.wait)
     except ServeError as exc:
-        print("error: {}".format(exc), file=sys.stderr)
+        # exc carries the server's structured code/message verbatim;
+        # attempts > 1 means the client's retry budget was spent first.
+        suffix = (" (after {} attempts)".format(exc.attempts)
+                  if exc.attempts > 1 else "")
+        print("error: {}{}".format(exc, suffix), file=sys.stderr)
         return 2
+    result = snap.get("result") or {}
+    failures = result.get("failures") or []
+    kinds = sorted({f.get("kind", "?") for f in failures})
     if args.json:
         import json
         print(json.dumps(snap, indent=2))
     else:
-        result = snap.get("result") or {}
         status = result.get("status", snap.get("state"))
         flags = []
         if result.get("cached"):
             flags.append("cached")
         if snap.get("deduped"):
             flags.append("deduped")
+        # Surface the failure taxonomy in the answer line itself, e.g.
+        # "job 3: UNKNOWN (TIMEOUT)" — the kinds arrive verbatim from
+        # the server's structured payload.
+        if status == "UNKNOWN" and kinds:
+            status = "{} ({})".format(status, ", ".join(kinds))
         print("job {}: {}{}".format(
             snap.get("job"), status,
-            " ({})".format(", ".join(flags)) if flags else ""))
+            " [{}]".format(", ".join(flags)) if flags else ""))
         if result.get("model_inputs"):
             for name, value in sorted(result["model_inputs"].items()):
                 print("{} = {}".format(name, value))
-        for failure in result.get("failures") or []:
+        for failure in failures:
             print("worker failure: {} [{}] {}".format(
                 failure.get("engine", "?"), failure.get("kind", "?"),
                 failure.get("detail", "")), file=sys.stderr)
-    result = snap.get("result") or {}
     if result.get("status") == "SAT":
         return 10
     if result.get("status") == "UNSAT":
         return 20
+    return _failure_exit(result)
+
+
+def cmd_status(args) -> int:
+    """Render a node's /status for humans (or --json for scripts)."""
+    from .serve.client import ServeClient, ServeError
+    try:
+        client = ServeClient.from_url(args.url, timeout=args.timeout,
+                                      retries=args.retries)
+    except ValueError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    try:
+        payload = client.status()
+    except ServeError as exc:
+        suffix = (" (after {} attempts)".format(exc.attempts)
+                  if exc.attempts > 1 else "")
+        print("error: {}{}".format(exc, suffix), file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+        print(json.dumps(payload, indent=2))
+        return 0
+    if "node" in payload:  # a conquer node
+        node = payload["node"]
+        print("{} at {}  [conquer-node]".format(node.get("name", "?"),
+                                                client.url))
+        print("  workers: {}  engine: {}/{} backend={}".format(
+            node.get("workers"), node.get("kind"), node.get("preset"),
+            node.get("backend")))
+        print("  queue: {} queued, {} running, {} done of {} jobs{}".format(
+            node.get("queued"), node.get("running"), node.get("done"),
+            node.get("jobs"), "  (draining)" if node.get("draining")
+            else ""))
+        pools = node.get("lemma_pools") or {}
+        for key, size in sorted(pools.items()):
+            print("  circuit {}...: {} pooled lemmas".format(key[:12], size))
+        counts = node.get("counts") or {}
+        if counts:
+            print("  counts: " + ", ".join(
+                "{}={}".format(k, counts[k]) for k in sorted(counts)))
+        return 0
+    if "scheduler" in payload:  # a serve server
+        sched = payload["scheduler"]
+        print("serve at {}".format(client.url))
+        for key in sorted(sched):
+            print("  {}: {}".format(key, sched[key]))
+        if payload.get("journal"):
+            print("  journal: {}".format(payload["journal"]))
+        if payload.get("recovery"):
+            print("  recovery: {}".format(payload["recovery"]))
+        return 0
+    for key in sorted(payload):
+        print("{}: {}".format(key, payload[key]))
     return 0
+
+
+def cmd_conquer_node(args) -> int:
+    import signal as _signal
+    from .dist import ConquerNode
+    from .obs import JsonlTracer
+    tracer = JsonlTracer(args.trace) if args.trace else None
+    try:
+        node = ConquerNode(
+            host=args.host, port=args.port, workers=args.workers,
+            kind=args.engine, preset_name=args.preset,
+            backend=args.backend, mem_limit_mb=args.mem_limit,
+            grace_seconds=args.grace, certify=args.certify,
+            max_queue=args.max_queue, name=args.name, tracer=tracer)
+    except SolverError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    print("repro conquer-node: {} listening on {} ({} workers, "
+          "{}/{} backend={})".format(node.name, node.address, node.workers,
+                                     node.kind, node.preset_name,
+                                     node.backend), file=sys.stderr)
+
+    def _graceful(signum, frame):
+        print("repro conquer-node: caught signal {}, draining..."
+              .format(signum), file=sys.stderr)
+        node.request_shutdown(drain=True)
+
+    previous = {}
+    for sig in (_signal.SIGTERM, _signal.SIGINT):
+        try:
+            previous[sig] = _signal.signal(sig, _graceful)
+        except (ValueError, OSError):
+            pass
+    try:
+        node.serve_forever()
+    finally:
+        for sig, handler in previous.items():
+            try:
+                _signal.signal(sig, handler)
+            except (ValueError, OSError):
+                pass
+        _finish_trace(tracer)
+    return 0
+
+
+def cmd_dist(args) -> int:
+    if bool(args.file) == bool(args.instance):
+        print("error: give a circuit file OR --instance NAME",
+              file=sys.stderr)
+        return 2
+    if bool(args.nodes) == bool(args.spawn_local):
+        print("error: give --nodes URL,URL OR --spawn-local N",
+              file=sys.stderr)
+        return 2
+    if args.instance:
+        from .bench.instances import instance_by_name
+        circuit = instance_by_name(args.instance).build()
+        label = args.instance
+    else:
+        circuit = _read_circuit(args.file)
+        label = args.file
+    from .cube import CutterOptions
+    from .dist import solve_distributed
+    from .durable.checkpoint import CheckpointError
+    cutter = CutterOptions(max_cubes=args.max_cubes,
+                           cubes_per_worker=args.cubes_per_worker,
+                           max_depth=args.max_depth)
+    fleet = []
+    if args.spawn_local:
+        from .dist.bench import launch_local_nodes
+        fleet = launch_local_nodes(args.spawn_local,
+                                   workers=args.node_workers,
+                                   preset=args.preset,
+                                   backend=args.backend)
+        urls = [n.url for n in fleet]
+        print("spawned {} local conquer node(s): {}".format(
+            len(urls), ", ".join(urls)), file=sys.stderr)
+    else:
+        urls = [u.strip() for u in args.nodes.split(",") if u.strip()]
+    try:
+        report = solve_distributed(
+            circuit, nodes=urls, kind=args.engine,
+            preset_name=args.preset, backend=args.backend,
+            cutter=cutter, budget=args.budget, certify=args.certify,
+            steal_after=args.steal_after,
+            exchange_every=args.exchange_every,
+            max_retries=args.retries, trace=args.trace,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume_from=args.resume, label=label)
+    except (CheckpointError, ValueError) as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    finally:
+        for node in fleet:
+            node.stop()
+    if args.json:
+        import json
+        print(json.dumps(dict(report.as_dict(), instance=label), indent=2))
+        return _status_code(report.result)
+    print("dist: " + report.summary())
+    if report.resumed:
+        print("  resumed: {} cube(s) already closed by the "
+              "checkpoint".format(report.resumed))
+    for info in report.nodes:
+        line = "  node {:20s} {}  {} dispatched, {} completed".format(
+            info.name or "?", "up  " if info.alive else "DEAD",
+            info.dispatched, info.completed)
+        if info.steals:
+            line += ", {} stolen".format(info.steals)
+        if info.duplicates:
+            line += ", {} duplicate(s) discarded".format(info.duplicates)
+        if not info.alive and info.detail:
+            line += "  ({})".format(info.detail)
+        print(line)
+    return _print_result(report.result, label)
+
+
+def cmd_dist_bench(args) -> int:
+    from .dist.bench import dist_bench_document
+    try:
+        node_counts = [int(n) for n in args.nodes_list.split(",")]
+    except ValueError:
+        print("error: --nodes-list wants e.g. '1,2'", file=sys.stderr)
+        return 2
+    document = dist_bench_document(
+        args.instance, node_counts, args.workers_per_node,
+        budget=args.budget, kill_instance=args.kill_instance,
+        kill_after=args.kill_after)
+    if args.json:
+        import json
+        with open(args.json, "w") as fh:
+            json.dump(document, fh, indent=2)
+            fh.write("\n")
+        print("wrote {}".format(args.json), file=sys.stderr)
+    for point in document["points"]:
+        print("nodes={}  workers/node={}  {:8s} {:8.3f}s  {} cubes, "
+              "{} lemmas shared, {} stolen, {} reassignment(s)".format(
+                  point["nodes"], point["workers_per_node"],
+                  point["status"], point["seconds"], point["cubes"],
+                  point["lemmas_shared"], point["steals"],
+                  point.get("reassigned", 0)))
+    print("speedup ({}n vs {}n): {}".format(
+        node_counts[0], node_counts[-1],
+        document["speedup"] if document["speedup"] is not None else "n/a"))
+    kill = document["kill_round"]
+    print("kill round [{}]: {} in {:.3f}s — killed {} at {:.1f}s, "
+          "{} reassigned, {} duplicate(s) discarded, lost={}, "
+          "double_counted={} -> {}".format(
+              kill["instance"], kill["status"], kill["seconds"],
+              kill.get("killed_node"), kill.get("killed_at_seconds") or 0,
+              kill["reassigned"], kill["duplicates_discarded"],
+              kill["lost"], kill["double_counted"],
+              "ok" if kill["ok"] else "FAILED"))
+    return 0 if (document["speedup"] is not None and kill["ok"]) else 1
 
 
 def cmd_chaos(args) -> int:
@@ -918,6 +1164,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="built-in benchmark instance, e.g. mult6.arith")
     p.add_argument("--engine", choices=("csat", "cnf"), default="csat",
                    help="per-cube engine (default: csat)")
+    p.add_argument("--backend", choices=("legacy", "kernel"),
+                   default="legacy",
+                   help="CDCL implementation for --engine cnf workers "
+                        "(csat workers pick the flat kernel via "
+                        "--preset kernel instead)")
     p.add_argument("--max-cubes", type=int, default=None, metavar="N",
                    help="hard cap on open cubes (default: scale with "
                         "workers)")
@@ -1132,6 +1383,127 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the job snapshot as JSON")
     p.set_defaults(func=cmd_submit)
 
+    p = sub.add_parser("status",
+                       help="render a running node's /status "
+                            "(serve server or conquer node)")
+    p.add_argument("url", help="node URL, e.g. http://127.0.0.1:8587")
+    p.add_argument("--timeout", type=float, default=10.0)
+    p.add_argument("--retries", type=int, default=0,
+                   help="extra attempts on connection errors (default 0)")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw /status payload as JSON")
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser("conquer-node",
+                       help="serve cube solves for a distributed "
+                            "conquest (see `repro dist`)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8590)
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="concurrent cube workers, each an isolated "
+                        "subprocess (default 2)")
+    p.add_argument("--engine", choices=("csat", "cnf"), default="csat",
+                   help="per-cube engine (default: csat)")
+    p.add_argument("--preset", choices=_PRESETS, default="implicit",
+                   help="solver configuration (default: implicit — the "
+                        "cube-worker default)")
+    p.add_argument("--backend", choices=("legacy", "kernel"),
+                   default="legacy",
+                   help="CDCL implementation for --engine cnf workers")
+    p.add_argument("--mem-limit", type=int, default=None, metavar="MB",
+                   help="hard per-worker address-space cap in MB")
+    p.add_argument("--grace", type=float, default=1.0, metavar="SEC",
+                   help="SIGTERM-to-SIGKILL grace for overrunning workers")
+    p.add_argument("--certify", choices=("off", "sat"), default="sat",
+                   help="boundary re-certification of cube answers "
+                        "(default: sat models)")
+    p.add_argument("--max-queue", type=int, default=256, metavar="N",
+                   help="admission control: reject past this queue depth")
+    p.add_argument("--name", default=None,
+                   help="node name in traces and reports "
+                        "(default: node-<port>)")
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="write node/worker lifecycle events here (JSONL)")
+    p.set_defaults(func=cmd_conquer_node)
+
+    p = sub.add_parser("dist",
+                       help="distributed cube-and-conquer across remote "
+                            "conquer nodes with work stealing and lemma "
+                            "exchange")
+    p.add_argument("file", nargs="?", default=None,
+                   help=".bench/.aag circuit (or use --instance)")
+    p.add_argument("--instance", metavar="NAME", default=None,
+                   help="built-in benchmark instance, e.g. mult6.arith")
+    p.add_argument("--nodes", metavar="URLS", default=None,
+                   help="comma-separated conquer-node URLs, e.g. "
+                        "http://10.0.0.2:8590,http://10.0.0.3:8590")
+    p.add_argument("--spawn-local", type=int, default=0, metavar="N",
+                   help="convenience: spawn N localhost conquer nodes "
+                        "for this run instead of --nodes")
+    p.add_argument("--node-workers", type=int, default=2, metavar="N",
+                   help="workers per node with --spawn-local (default 2)")
+    p.add_argument("--engine", choices=("csat", "cnf"), default="csat",
+                   help="per-cube engine (default: csat)")
+    p.add_argument("--backend", choices=("legacy", "kernel"),
+                   default="legacy",
+                   help="CDCL implementation for --engine cnf workers")
+    p.add_argument("--certify", choices=("off", "sat"), default="sat",
+                   help="coordinator-side re-certification of node "
+                        "answers (default: sat models)")
+    p.add_argument("--max-cubes", type=int, default=None, metavar="N",
+                   help="hard cap on open cubes (default: scale with the "
+                        "fabric's total worker count)")
+    p.add_argument("--cubes-per-worker", type=int, default=8, metavar="N",
+                   help="cubes generated per worker when --max-cubes is "
+                        "unset (default 8)")
+    p.add_argument("--max-depth", type=int, default=12, metavar="D",
+                   help="cube tree depth cutoff (default 12)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="re-dispatches per cube after a retryable "
+                        "(CRASHED/CORRUPT/LOST) failure (default 1)")
+    p.add_argument("--steal-after", type=float, default=1.0, metavar="SEC",
+                   help="idle nodes re-issue another node's cube once it "
+                        "has been in flight this long (default 1.0)")
+    p.add_argument("--exchange-every", type=float, default=1.0,
+                   metavar="SEC",
+                   help="lemma-exchange heartbeat period (default 1.0)")
+    p.add_argument("--checkpoint", metavar="FILE", default=None,
+                   help="persist cube outcomes + the lemma pool here so "
+                        "a killed coordinator can be resumed")
+    p.add_argument("--checkpoint-every", type=int, default=8, metavar="N",
+                   help="checkpoint cadence in completed cubes (default 8)")
+    p.add_argument("--resume", metavar="FILE", default=None,
+                   help="resume from a checkpoint: skip closed cubes, "
+                        "re-inject the lemma pool")
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="write coordinator/dispatch events here (JSONL); "
+                        "nodes add their own spans under the same trace")
+    p.add_argument("--json", action="store_true",
+                   help="print the full dist report as JSON on stdout")
+    _add_common(p)
+    p.set_defaults(func=cmd_dist, preset="implicit")
+
+    p = sub.add_parser("dist-bench",
+                       help="multi-node speedup + node-kill round; "
+                            "exports BENCH_dist.json")
+    p.add_argument("--instance", default="mult7.arith",
+                   help="speedup instance (default mult7.arith)")
+    p.add_argument("--nodes-list", metavar="LIST", default="1,2",
+                   help="comma-separated node counts (default '1,2')")
+    p.add_argument("--workers-per-node", type=int, default=2, metavar="N",
+                   help="workers on every node (default 2)")
+    p.add_argument("--kill-instance", default="mult6.arith",
+                   help="node-kill round instance (default mult6.arith)")
+    p.add_argument("--kill-after", type=float, default=3.0, metavar="SEC",
+                   help="SIGKILL one node this far into the kill round "
+                        "(default 3.0)")
+    p.add_argument("--budget", type=float, default=None,
+                   help="wall-clock budget per measurement in seconds")
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="write the benchmark document here "
+                        "(BENCH_dist.json)")
+    p.set_defaults(func=cmd_dist_bench)
+
     p = sub.add_parser("serve-bench",
                        help="seeded load generation against in-process "
                             "servers; exports BENCH_serve.json")
@@ -1217,7 +1589,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         # this catches interrupts outside a solve (parsing, preprocessing).
         print("interrupted", file=sys.stderr)
         return 130
-    except (ParseError, CircuitError, SolverError, UnicodeDecodeError,
+    except (ParseError, CircuitError, ReproError, UnicodeDecodeError,
             OSError) as exc:
         # Bad user input (malformed .bench/AIGER/DIMACS, invalid circuit,
         # missing file): one line on stderr, exit 2, never a traceback.

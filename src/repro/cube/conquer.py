@@ -82,6 +82,10 @@ class CubeOutcome:
     core_size: Optional[int] = None
     lemmas_exported: int = 0
     detail: str = ""
+    #: Conquer node that produced the terminal answer (distributed mode
+    #: only; None for local conquest).  Checkpoints carry it so a resumed
+    #: coordinator knows the prior assignment.
+    node: Optional[str] = None
 
     def as_dict(self) -> Dict[str, Any]:
         return {"index": self.index, "literals": list(self.literals),
@@ -89,7 +93,7 @@ class CubeOutcome:
                 "attempts": self.attempts, "pruned_by": self.pruned_by,
                 "core_size": self.core_size,
                 "lemmas_exported": self.lemmas_exported,
-                "detail": self.detail}
+                "detail": self.detail, "node": self.node}
 
 
 @dataclass
@@ -245,7 +249,8 @@ def _restore_cubes(checkpoint, outcomes: Dict[int, CubeOutcome],
             pruned_by=raw.get("pruned_by"),
             core_size=raw.get("core_size"),
             lemmas_exported=int(raw.get("lemmas_exported", 0)),
-            detail=str(raw.get("detail") or ""))
+            detail=str(raw.get("detail") or ""),
+            node=raw.get("node"))
         outcomes[index] = outcome
         if outcome.status in _CLOSED:
             resumed += 1
@@ -273,6 +278,7 @@ def solve_cubes(circuit: Circuit,
                 cutter: Optional[CutterOptions] = None,
                 kind: str = KIND_CSAT,
                 preset_name: str = "implicit",
+                backend: str = "legacy",
                 options: Optional[SolverOptions] = None,
                 budget: Optional[float] = None,
                 limits: Optional[Limits] = None,
@@ -479,7 +485,7 @@ def solve_cubes(circuit: Circuit,
         circuit, objectives, cube_set, kind, preset_name, options, seed,
         correlations, limits, deadline, mem_limit_mb, grace_seconds,
         max_retries, certify, share_lemmas, faults, start_method,
-        outcomes, report, tracer, finish,
+        outcomes, report, tracer, finish, backend=backend,
         checkpointer=checkpointer, seed_pool=seed_pool)
 
 
@@ -576,7 +582,7 @@ def _conquer_workers(circuit, objectives, cube_set, kind, preset_name,
                      options, seed, correlations, limits, deadline,
                      mem_limit_mb, grace_seconds, max_retries, certify,
                      share_lemmas, faults, start_method, outcomes, report,
-                     tracer, finish, checkpointer=None,
+                     tracer, finish, backend="legacy", checkpointer=None,
                      seed_pool=None) -> CubeReport:
     knowledge = SharedKnowledge(classes=serialize_classes(correlations))
     if seed_pool:
@@ -618,7 +624,8 @@ def _conquer_workers(circuit, objectives, cube_set, kind, preset_name,
             seed_classes = None
         job = WorkerJob(
             circuit=circuit, name="cube-{}".format(cube.index), kind=kind,
-            preset_name=preset_name, options=options, overrides=overrides,
+            preset_name=preset_name, backend=backend,
+            options=options, overrides=overrides,
             objectives=list(objectives),
             limits=_per_cube_limits(limits, left),
             mem_limit_mb=mem_limit_mb, fault=faults.fault_for(spawn_index),

@@ -147,7 +147,14 @@ def collect_cnf_lemmas(solver, num_nodes: int,
     Tseitin variable ``node + 1`` encodes circuit node ``node``; variables
     beyond ``num_nodes`` (if an encoding ever adds helpers) and the
     constant node are not exported.
+
+    Works for both CNF backends — the legacy :class:`CnfSolver` and the
+    flat kernel's ``FlatCnfSolver`` (whose internal variable ``v``
+    encodes Tseitin variable ``v + 1``, i.e. circuit node ``v``, so an
+    internal kernel literal *is* the circuit literal).
     """
+    if hasattr(solver, "solver"):  # repro.kernel.cnf.FlatCnfSolver
+        return _collect_flat_cnf_lemmas(solver.solver, num_nodes, limit)
 
     def to_circuit(lit: int) -> Optional[int]:
         var = lit >> 1
@@ -170,6 +177,37 @@ def collect_cnf_lemmas(solver, num_nodes: int,
         if clause is None or len(clause) != 2:
             continue
         mapped_clause = [to_circuit(l) for l in clause]
+        if None in mapped_clause:
+            continue
+        lemmas.append(mapped_clause)
+        if len(lemmas) >= limit:
+            break
+    return lemmas
+
+
+def _collect_flat_cnf_lemmas(solver, num_nodes: int,
+                             limit: int) -> List[List[int]]:
+    """Kernel-CNF flavour of :func:`collect_cnf_lemmas`."""
+
+    def to_circuit(lit: int) -> Optional[int]:
+        node = lit >> 1
+        if node < 1 or node >= num_nodes:
+            return None
+        return lit
+
+    lemmas: List[List[int]] = []
+    level = solver.level
+    for idx in range(solver.trail_len):
+        lit = solver.trail[idx]
+        if level[lit >> 1] != 0:
+            break  # trail is level-ordered; root prefix ends here
+        mapped = to_circuit(lit)
+        if mapped is not None:
+            lemmas.append([mapped])
+            if len(lemmas) >= limit:
+                return lemmas
+    for a, b in solver.learnt_binaries:
+        mapped_clause = [to_circuit(a), to_circuit(b)]
         if None in mapped_clause:
             continue
         lemmas.append(mapped_clause)

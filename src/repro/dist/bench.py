@@ -1,0 +1,297 @@
+"""Distributed conquest measurement -> ``BENCH_dist.json``.
+
+Two measurements back the fabric's claims:
+
+* **Speedup** — wall clock of :func:`repro.dist.solve_distributed` on
+  one conquer node versus several (same worker count per node).  On a
+  single-CPU host the channel is the same one ``BENCH_cube.json``
+  exploits: the cutter sizes the partition by the *total* worker count
+  across nodes, so more nodes mean a superlinearly finer cube tree plus
+  more lemma exchange, and CDCL effort shrinks superlinearly with cube
+  hardness.  On real hardware the nodes additionally overlap in time.
+* **Kill round** — SIGKILL one node mid-conquest and assert the answer
+  still lands: the dead node's in-flight cubes are reassigned, no cube
+  result is lost, and no answer is double-counted.
+
+Nodes are real ``repro conquer-node`` subprocesses (the chaos-harness
+idiom), so the bench exercises the actual wire path, not an in-process
+shortcut.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..bench.instances import instance_by_name
+from ..cube.cutter import CutterOptions
+from ..obs.export import SCHEMA_VERSION, environment_info
+from ..serve.client import ServeClient, ServeError
+from .coordinator import solve_distributed
+
+DEFAULT_INSTANCE = "mult7.arith"
+DEFAULT_NODE_COUNTS: Sequence[int] = (1, 2)
+DEFAULT_WORKERS_PER_NODE = 2
+KILL_INSTANCE = "mult6.arith"
+
+
+# ----------------------------------------------------------------------
+# Local node fleet (subprocess plumbing shared with repro.durable.chaos)
+# ----------------------------------------------------------------------
+
+class LocalNode:
+    """One ``repro conquer-node`` subprocess and its address."""
+
+    def __init__(self, proc: subprocess.Popen, url: str, log_path: str):
+        self.proc = proc
+        self.url = url
+        self.log_path = log_path
+
+    def sigkill(self) -> None:
+        """Kill the whole process group — node and in-flight workers."""
+        try:
+            os.killpg(self.proc.pid, signal.SIGKILL)
+        except (OSError, ProcessLookupError):
+            try:
+                self.proc.kill()
+            except OSError:
+                pass
+        self.proc.wait()
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.sigkill()
+
+
+def _free_port() -> int:
+    sock = socket.socket()
+    try:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+    finally:
+        sock.close()
+
+
+def _repro_env() -> Dict[str, str]:
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    current = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + current if current else "")
+    return env
+
+
+def launch_local_nodes(count: int,
+                       workers: int = DEFAULT_WORKERS_PER_NODE,
+                       *,
+                       preset: str = "implicit",
+                       backend: str = "legacy",
+                       workdir: Optional[str] = None,
+                       startup_timeout: float = 30.0) -> List[LocalNode]:
+    """Spawn ``count`` conquer-node subprocesses and wait for /health."""
+    workdir = workdir or tempfile.mkdtemp(prefix="repro-dist-")
+    nodes: List[LocalNode] = []
+    try:
+        for i in range(count):
+            port = _free_port()
+            log_path = os.path.join(workdir, "node-{}.log".format(i))
+            log = open(log_path, "ab")
+            try:
+                proc = subprocess.Popen(
+                    [sys.executable, "-m", "repro", "conquer-node",
+                     "--port", str(port), "--workers", str(workers),
+                     "--preset", preset, "--backend", backend,
+                     "--name", "bench-node-{}".format(i)],
+                    stdout=log, stderr=subprocess.STDOUT,
+                    env=_repro_env(), start_new_session=True)
+            finally:
+                log.close()
+            nodes.append(LocalNode(proc, "http://127.0.0.1:{}".format(port),
+                                   log_path))
+        deadline = time.monotonic() + startup_timeout
+        for node in nodes:
+            client = ServeClient.from_url(node.url, timeout=2.0)
+            while True:
+                try:
+                    if client.health().get("role") == "conquer-node":
+                        break
+                except ServeError:
+                    pass
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        "conquer node at {} did not come up within "
+                        "{:g}s (log: {})".format(node.url, startup_timeout,
+                                                 node.log_path))
+                if node.proc.poll() is not None:
+                    raise RuntimeError(
+                        "conquer node at {} exited with {} (log: {})"
+                        .format(node.url, node.proc.returncode,
+                                node.log_path))
+                time.sleep(0.2)
+        return nodes
+    except Exception:
+        for node in nodes:
+            node.stop()
+        raise
+
+
+# ----------------------------------------------------------------------
+# Measurements
+# ----------------------------------------------------------------------
+
+def measure_dist_point(circuit, node_count: int,
+                       workers_per_node: int = DEFAULT_WORKERS_PER_NODE,
+                       *,
+                       cutter: Optional[CutterOptions] = None,
+                       budget: Optional[float] = None,
+                       **solve_kwargs) -> Dict[str, Any]:
+    """One (instance, node count) wall-clock measurement."""
+    fleet = launch_local_nodes(node_count, workers_per_node)
+    try:
+        t0 = time.perf_counter()
+        report = solve_distributed(circuit,
+                                   nodes=[n.url for n in fleet],
+                                   cutter=cutter, budget=budget,
+                                   **solve_kwargs)
+        wall = time.perf_counter() - t0
+    finally:
+        for node in fleet:
+            node.stop()
+    return {
+        "nodes": node_count,
+        "workers_per_node": workers_per_node,
+        "total_workers": report.total_workers,
+        "status": report.result.status,
+        "seconds": round(wall, 4),
+        "cubes": len(report.cubes),
+        "generation_seconds": round(report.generation_seconds, 4),
+        "lemmas_shared": report.lemmas_shared,
+        "pruned": report.pruned,
+        "steals": report.steals,
+        "duplicates": report.duplicates,
+        "double_counted": report.double_counted,
+        "certified": report.certified,
+        "conflicts": report.result.stats.conflicts,
+        "decisions": report.result.stats.decisions,
+    }
+
+
+def kill_round(instance: str = KILL_INSTANCE,
+               *,
+               workers_per_node: int = DEFAULT_WORKERS_PER_NODE,
+               kill_after: float = 3.0,
+               budget: Optional[float] = None,
+               **solve_kwargs) -> Dict[str, Any]:
+    """SIGKILL one of two nodes mid-run; the answer must still land.
+
+    The report asserts the fabric's delivery contract after node loss:
+    ``lost == 0`` (every cube reached a terminal outcome) and
+    ``double_counted == 0`` (no cube result was applied twice).
+    """
+    inst = instance_by_name(instance)
+    circuit = inst.build()
+    fleet = launch_local_nodes(2, workers_per_node)
+    killed: Dict[str, Any] = {}
+
+    def assassin() -> None:
+        victim = fleet[1]
+        killed["url"] = victim.url
+        killed["at_seconds"] = round(time.perf_counter() - t0, 3)
+        victim.sigkill()
+
+    timer = threading.Timer(kill_after, assassin)
+    try:
+        t0 = time.perf_counter()
+        timer.start()
+        report = solve_distributed(circuit,
+                                   nodes=[n.url for n in fleet],
+                                   budget=budget,
+                                   # Fail fast on the dead node so the
+                                   # round measures reassignment, not
+                                   # client backoff.
+                                   client_timeout=5.0, client_retries=1,
+                                   poll_seconds=2.0,
+                                   **solve_kwargs)
+        wall = time.perf_counter() - t0
+    finally:
+        timer.cancel()
+        for node in fleet:
+            node.stop()
+    survivors = [n for n in report.nodes if n.alive]
+    return {
+        "instance": instance,
+        "expected": inst.expected,
+        "status": report.result.status,
+        "seconds": round(wall, 4),
+        "killed_node": killed.get("url"),
+        "killed_at_seconds": killed.get("at_seconds"),
+        "nodes_lost": sum(1 for n in report.nodes if not n.alive),
+        "survivors": len(survivors),
+        "cubes": len(report.cubes),
+        "reassigned": report.reassigned,
+        "duplicates_discarded": report.duplicates,
+        "double_counted": report.double_counted,
+        "lost": report.lost,
+        "ok": (report.result.status == inst.expected
+               and report.lost == 0 and report.double_counted == 0),
+    }
+
+
+def dist_bench_document(instance: str = DEFAULT_INSTANCE,
+                        node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+                        workers_per_node: int = DEFAULT_WORKERS_PER_NODE,
+                        *,
+                        cutter: Optional[CutterOptions] = None,
+                        budget: Optional[float] = None,
+                        kill_instance: str = KILL_INSTANCE,
+                        kill_after: float = 3.0,
+                        **solve_kwargs) -> Dict[str, Any]:
+    """Run the sweep + kill round, shaped like the other BENCH docs.
+
+    ``speedup`` is wall-clock of the *first* node count over the *last*
+    (canonically 1 node vs 2); null when either run failed to answer.
+    """
+    inst = instance_by_name(instance)
+    circuit = inst.build()
+    points = [measure_dist_point(circuit, count, workers_per_node,
+                                 cutter=cutter, budget=budget,
+                                 **solve_kwargs)
+              for count in node_counts]
+    speedup = None
+    base, best = points[0], points[-1]
+    if base["status"] == inst.expected and best["status"] == inst.expected \
+            and best["seconds"] > 0:
+        speedup = round(base["seconds"] / best["seconds"], 3)
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "bench_dist",
+        "source": "repro.dist.bench",
+        "instance": instance,
+        "expected": inst.expected,
+        "datetime": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "environment": environment_info(),
+        "points": points,
+        "speedup": speedup,
+        "kill_round": kill_round(kill_instance,
+                                 workers_per_node=workers_per_node,
+                                 kill_after=kill_after, budget=budget),
+    }
+
+
+def export_dist_bench(out_path: str = "BENCH_dist.json",
+                      **kwargs) -> Dict[str, Any]:
+    """Run the sweep and write the document; returns it."""
+    import json
+    document = dist_bench_document(**kwargs)
+    with open(out_path, "w") as fh:
+        json.dump(document, fh, indent=2)
+        fh.write("\n")
+    return document

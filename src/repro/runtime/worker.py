@@ -56,6 +56,10 @@ class WorkerJob:
     name: str = "explicit"            # display name for events/provenance
     kind: str = KIND_CSAT
     preset_name: str = "explicit"
+    #: CNF CDCL implementation for ``kind == "cnf"``: the legacy
+    #: object-graph solver or the flat-array kernel (csat kinds pick the
+    #: kernel via ``preset_name="kernel"`` instead).
+    backend: str = "legacy"
     options: Optional[Any] = None     # SolverOptions, or None for preset
     overrides: Dict[str, Any] = field(default_factory=dict)
     objectives: Optional[List[int]] = None
@@ -308,12 +312,13 @@ def _solve_job(job: WorkerJob, tracer=None, salvage=None) -> dict:
             lemmas = collect_csat_lemmas(solver.engine)
     elif job.kind == KIND_CNF:
         from ..circuit.cnf_convert import tseitin
-        from ..cnf.solver import CnfSolver
+        from ..cnf.solver import make_solver
         formula, _ = tseitin(circuit, objectives=objectives)
         if job.collect_proof:
             from ..proof import ProofLog
             proof = ProofLog()
-        solver = CnfSolver(formula, proof=proof, trace=tracer)
+        solver = make_solver(formula, backend=job.backend,
+                             proof=proof, trace=tracer)
         if job.seed_lemmas:
             for clause in job.seed_lemmas:
                 # Shared lemmas hold for circuit AND objectives — exactly

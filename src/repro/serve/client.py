@@ -30,13 +30,21 @@ from ..errors import ReproError
 
 
 class ServeError(ReproError):
-    """A serve request failed; ``code`` is the protocol error code."""
+    """A serve request failed; ``code`` is the protocol error code.
 
-    def __init__(self, code: str, message: str, status: int = 0):
+    ``attempts`` counts how many transport attempts were made before the
+    error was surfaced (1 for a fail-fast call) — the retry loop stamps
+    it so callers can tell an immediate rejection from an exhausted
+    backoff sequence without losing the server's original code/message.
+    """
+
+    def __init__(self, code: str, message: str, status: int = 0,
+                 attempts: int = 1):
         super().__init__("{}: {}".format(code, message))
         self.code = code
         self.message = message
         self.status = status
+        self.attempts = attempts
 
 
 #: Error codes/statuses worth retrying: the request may never have
@@ -69,6 +77,22 @@ class ServeClient:
         self.max_wait = max_wait
         self._rng = random.Random(jitter_seed)
 
+    @classmethod
+    def from_url(cls, url: str, **kwargs) -> "ServeClient":
+        """Build a client from ``http://host:port`` (scheme optional)."""
+        from urllib.parse import urlparse
+        parsed = urlparse(url if "//" in url else "//" + url)
+        if parsed.scheme not in ("", "http"):
+            raise ValueError("serve URLs are plain http, not {!r}".format(
+                parsed.scheme))
+        if not parsed.hostname:
+            raise ValueError("cannot parse host from {!r}".format(url))
+        return cls(host=parsed.hostname, port=parsed.port or 8587, **kwargs)
+
+    @property
+    def url(self) -> str:
+        return "http://{}:{}".format(self.host, self.port)
+
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
@@ -100,6 +124,10 @@ class ServeClient:
                 return self._request_once(method, path, body, per_attempt)
             except ServeError as exc:
                 if not _transient(exc) or attempt >= retries:
+                    # Surface the *original* structured error — code,
+                    # message, and HTTP status stay verbatim; only the
+                    # attempt count is stamped on.
+                    exc.attempts = attempt + 1
                     raise
             delay = min(self.backoff_max, self.backoff * (2 ** attempt))
             delay *= 0.5 + self._rng.random()
@@ -147,6 +175,21 @@ class ServeClient:
     # ------------------------------------------------------------------
     # Protocol verbs
     # ------------------------------------------------------------------
+
+    def call(self, method: str, path: str,
+             body: Optional[Dict[str, Any]] = None,
+             timeout: Optional[float] = None,
+             retries: Optional[int] = None,
+             deadline: Optional[float] = None) -> Dict[str, Any]:
+        """Generic protocol request under the full retry/deadline policy.
+
+        The distributed conquer fabric (:mod:`repro.dist`) drives its
+        node endpoints (``/circuit``, ``/conquer``, ``/exchange``)
+        through this, inheriting the same hardening as ``submit``.
+        ``deadline`` is absolute ``time.monotonic()`` seconds.
+        """
+        return self._request(method, path, body=body, timeout=timeout,
+                             retries=retries, deadline=deadline)
 
     def health(self) -> Dict[str, Any]:
         return self._request("GET", "/health")

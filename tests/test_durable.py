@@ -499,6 +499,62 @@ class TestClientHardening:
         snap = client.result("j1", wait=10_000.0)
         assert snap["state"] == "DONE"
 
+    def _backoff_delays(self, monkeypatch, seed, failures=4):
+        """The sleep sequence one seeded client produces while retrying."""
+        _FlakyHandler.failures_left = failures
+        delays = []
+        monkeypatch.setattr("repro.serve.client.time.sleep",
+                            lambda s: delays.append(round(s, 9)))
+        try:
+            client = ServeClient("127.0.0.1", self._flaky_port,
+                                 retries=failures, backoff=0.25,
+                                 backoff_max=5.0, jitter_seed=seed)
+            client.submit(instance="x", wait=0)
+        finally:
+            monkeypatch.undo()
+        return delays
+
+    @pytest.fixture(autouse=True)
+    def _remember_flaky_port(self, request):
+        # _backoff_delays needs the fixture port without re-declaring it
+        # on every test signature.
+        self._flaky_port = (request.getfixturevalue("flaky_server")
+                            if "flaky_server" in request.fixturenames
+                            else None)
+
+    def test_backoff_jitter_is_seed_deterministic(self, flaky_server,
+                                                  monkeypatch):
+        first = self._backoff_delays(monkeypatch, seed=1234)
+        second = self._backoff_delays(monkeypatch, seed=1234)
+        assert len(first) == 4
+        assert first == second          # same seed, same jitter schedule
+        other = self._backoff_delays(monkeypatch, seed=99)
+        assert other != first           # the jitter is real, not constant
+        # Exponential growth under the jitter envelope: every delay sits
+        # in [0.5, 1.5) * min(backoff_max, backoff * 2**attempt).
+        for attempt, delay in enumerate(first):
+            base = min(5.0, 0.25 * (2 ** attempt))
+            assert 0.5 * base <= delay < 1.5 * base
+
+    def test_exhausted_retries_stamp_the_attempt_count(self, flaky_server):
+        _FlakyHandler.failures_left = 10
+        client = ServeClient("127.0.0.1", flaky_server, retries=2,
+                             backoff=0.01, backoff_max=0.02, jitter_seed=7)
+        with pytest.raises(ServeError) as info:
+            client.submit(instance="x", wait=0)
+        # The server's structured error crosses the retry loop verbatim,
+        # with only the attempt count stamped on.
+        assert info.value.code == "queue-full"
+        assert info.value.status == 503
+        assert info.value.attempts == 3  # 1 original + 2 retries
+
+    def test_fail_fast_error_reports_one_attempt(self, flaky_server):
+        _FlakyHandler.failures_left = 1
+        client = ServeClient("127.0.0.1", flaky_server, retries=0)
+        with pytest.raises(ServeError) as info:
+            client.submit(instance="x", wait=0)
+        assert info.value.attempts == 1
+
 
 # ----------------------------------------------------------------------
 # Kill -9 recovery, end to end (real subprocesses)
