@@ -19,7 +19,14 @@ Usage::
     python benchmarks/check_regression.py /tmp/bench.json BENCH_micro.json
 
 Accepts either a raw pytest-benchmark dump or the trimmed
-``BENCH_micro.json`` schema on both sides.
+``BENCH_micro.json`` schema on both sides.  The same gate covers the
+incremental-solving baseline ``BENCH_inc.json`` (``kind: bench_inc``,
+produced by ``python -m repro.inc.bench``): its ``benchmarks`` entries —
+cold/warm per-query medians, pre-pass median, store-seeding sweep — ride
+the identical scale-invariant >10%-median rule::
+
+    python -m repro.inc.bench -o /tmp/inc.json
+    python benchmarks/check_regression.py /tmp/inc.json BENCH_inc.json
 """
 
 from __future__ import annotations

@@ -351,15 +351,20 @@ def cmd_sweep(args) -> int:
     circuit = _read_circuit(args.file)
     result = sat_sweep(circuit,
                        per_candidate_conflicts=args.candidate_conflicts)
-    print("gates: {} -> {} (merged {} pairs, {} constants; "
-          "{} refuted, {} undecided) in {:.3f}s".format(
-              result.gates_before, result.gates_after, result.merged_pairs,
-              result.merged_constants, result.refuted, result.undecided,
-              result.seconds))
+    if args.json:
+        import json
+        print(json.dumps(dict(result.as_dict(), instance=args.file),
+                         indent=2))
+    else:
+        print("gates: {} -> {} (merged {} pairs, {} constants; "
+              "{} refuted, {} undecided) in {:.3f}s".format(
+                  result.gates_before, result.gates_after,
+                  result.merged_pairs, result.merged_constants,
+                  result.refuted, result.undecided, result.seconds))
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(write_bench(result.circuit))
-        print("wrote {}".format(args.output))
+        print("wrote {}".format(args.output), file=sys.stderr)
     return 0
 
 
@@ -663,11 +668,15 @@ def cmd_serve(args) -> int:
         cache=cache, max_queue=args.max_queue,
         mem_limit_mb=args.mem_limit, grace_seconds=args.grace,
         certify=args.certify, max_wall_seconds=args.job_timeout,
-        tracer=tracer, journal_path=args.journal)
-    print("repro serve: listening on {} ({} workers, cache {} entries{}{})"
+        tracer=tracer, journal_path=args.journal,
+        store_path=args.store, incremental=not args.no_incremental)
+    print("repro serve: listening on {} ({} workers, cache {} "
+          "entries{}{}{})"
           .format(server.address, args.workers, args.cache_size,
-                  ", store " + args.cache_file if args.cache_file else "",
-                  ", journal " + args.journal if args.journal else ""),
+                  ", cache file " + args.cache_file if args.cache_file
+                  else "",
+                  ", journal " + args.journal if args.journal else "",
+                  ", knowledge store " + args.store if args.store else ""),
           file=sys.stderr)
     if server.recovery:
         print("repro serve: recovered from journal — {} record(s), "
@@ -736,7 +745,8 @@ def cmd_submit(args) -> int:
                                  priority=args.priority, fault=args.fault,
                                  cube_workers=args.cube_workers,
                                  wait=0 if args.no_wait else args.wait,
-                                 idempotency_key=args.idempotency_key)
+                                 idempotency_key=args.idempotency_key,
+                                 incremental=not args.no_incremental)
         else:
             from .circuit.source import read_source_text
             text = read_source_text(args.file)
@@ -746,7 +756,8 @@ def cmd_submit(args) -> int:
                                  label=args.file,
                                  cube_workers=args.cube_workers,
                                  wait=0 if args.no_wait else args.wait,
-                                 idempotency_key=args.idempotency_key)
+                                 idempotency_key=args.idempotency_key,
+                                 incremental=not args.no_incremental)
         if not args.no_wait and snap.get("state") not in ("DONE",
                                                           "CANCELLED"):
             snap = client.wait_for(snap["job"], timeout=args.wait)
@@ -781,6 +792,16 @@ def cmd_submit(args) -> int:
         if result.get("model_inputs"):
             for name, value in sorted(result["model_inputs"].items()):
                 print("{} = {}".format(name, value))
+        if result.get("sweep"):
+            sweep = result["sweep"]
+            absorbed = result.get("absorbed") or {}
+            print("sweep: gates {} -> {} (merged {} pairs, {} constants); "
+                  "absorbed {} consts, {} equivs, {} lemmas".format(
+                      sweep.get("gates_before"), sweep.get("gates_after"),
+                      sweep.get("merged_pairs"),
+                      sweep.get("merged_constants"),
+                      absorbed.get("consts", 0), absorbed.get("equivs", 0),
+                      absorbed.get("lemmas", 0)))
         for failure in failures:
             print("worker failure: {} [{}] {}".format(
                 failure.get("engine", "?"), failure.get("kind", "?"),
@@ -1221,9 +1242,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_equiv)
 
     p = sub.add_parser("sweep", help="SAT-sweep a circuit")
-    p.add_argument("file")
+    p.add_argument("file", help=".bench/.aag/.cnf circuit, or - for stdin")
     p.add_argument("-o", "--output", help="write reduced .bench here")
     p.add_argument("--candidate-conflicts", type=int, default=2000)
+    p.add_argument("--json", action="store_true",
+                   help="print the sweep summary as JSON")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("stats", help="structural statistics / validation")
@@ -1343,6 +1366,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="append-only job journal (WAL): on restart, "
                         "finished jobs rehydrate the answer cache and "
                         "unfinished ones are re-admitted")
+    p.add_argument("--store", metavar="FILE", default=None,
+                   help="durable knowledge store (JSONL): sweep jobs "
+                        "bank proven cone facts here and solve jobs "
+                        "replay them as a pre-pass")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="keep the store for sweep jobs but disable the "
+                        "solve-time pre-pass")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("submit",
@@ -1353,8 +1383,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="built-in benchmark instance instead of a file")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8587)
-    p.add_argument("--engine", choices=("csat", "cnf", "brute", "bdd",
-                                        "cube"), default="csat")
+    p.add_argument("--engine", "--job",
+                   choices=("csat", "cnf", "brute", "bdd", "cube",
+                            "sweep"), default="csat",
+                   help="engine, or 'sweep' to reduce the circuit into "
+                        "the server's knowledge store instead of "
+                        "solving it")
     p.add_argument("--preset", choices=_PRESETS, default="explicit")
     p.add_argument("--budget", type=float, default=None,
                    help="per-request wall-clock budget in seconds")
@@ -1379,6 +1413,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault", metavar="KIND", default=None,
                    help="test-only worker fault injection (crash, hang, "
                         "membomb, ...)")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="opt this job out of the knowledge-store "
+                        "pre-pass (answers are identical either way)")
     p.add_argument("--json", action="store_true",
                    help="print the job snapshot as JSON")
     p.set_defaults(func=cmd_submit)

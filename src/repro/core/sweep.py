@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..circuit.netlist import Circuit, lit_not
 from ..csat.engine import CSatEngine
@@ -41,6 +41,36 @@ class SweepResult:
     seconds: float = 0.0
     substitutions: Dict[int, int] = field(default_factory=dict)
     # node -> literal (over original node ids) it was merged into
+    #: Candidates the solver *disproved*, verbatim: constants as
+    #: ``(node, value)``, pairs as ``(n1, n2, anti)``.  The incremental
+    #: store uses these to evict exactly the replayed facts that failed
+    #: re-proof (a refuted store fact means corruption or collision).
+    refuted_constants: List[Tuple[int, int]] = field(default_factory=list)
+    refuted_pairs: List[Tuple[int, int, bool]] = field(default_factory=list)
+    #: Original node id -> literal in the *reduced* circuit (index i maps
+    #: node i), so knowledge about original signals can follow the sweep.
+    node_map: List[int] = field(default_factory=list)
+    #: Root units + binary learned clauses harvested from the sweep
+    #: engine when ``export_lemmas`` was requested.  The engine solved
+    #: the *bare* circuit under assumptions only — no objectives — so
+    #: unlike cube lemmas these are valid for the circuit itself and are
+    #: safe to persist and replay against any query (they still get
+    #: re-proved on injection; see :mod:`repro.inc.store`).
+    lemmas: List[List[int]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (the reduced circuit ships separately)."""
+        return {
+            "merged_pairs": self.merged_pairs,
+            "merged_constants": self.merged_constants,
+            "refuted": self.refuted,
+            "undecided": self.undecided,
+            "gates_before": self.gates_before,
+            "gates_after": self.gates_after,
+            "seconds": round(self.seconds, 6),
+            "substitutions": len(self.substitutions),
+            "lemmas": len(self.lemmas),
+        }
 
 
 def _prove_equal(engine: CSatEngine, rep_lit: int, node: int,
@@ -69,7 +99,12 @@ def sat_sweep(circuit: Circuit,
               correlations: Optional[CorrelationSet] = None,
               options: Optional[SolverOptions] = None,
               per_candidate_conflicts: int = 2000,
-              seed: int = 1) -> SweepResult:
+              seed: int = 1,
+              export_lemmas: bool = False,
+              constants_first: bool = True,
+              seed_lemmas: Optional[List[List[int]]] = None,
+              certify: Optional[Callable[[List[int]], Optional[bool]]]
+              = None) -> SweepResult:
     """Prove candidate equivalences and return a reduced circuit.
 
     ``correlations`` defaults to a fresh random-simulation pass.  Every
@@ -77,12 +112,35 @@ def sat_sweep(circuit: Circuit,
     undecided candidates are left unmerged (the result is always sound).
     The returned circuit has the same inputs (order and names preserved)
     and the same outputs.
+
+    ``constants_first=False`` proves pair candidates before constant
+    candidates — the right order when the candidates come from a warm
+    knowledge store: once the mid-level pairs are merged (and taught to
+    the engine as equivalence clauses), a deep constant like a miter
+    output reduces by propagation instead of by a fresh CDCL proof.
+
+    ``seed_lemmas`` are clauses injected into the proof engine before
+    any candidate is attempted.  **They must be known valid for the bare
+    circuit** (the incremental replay layer re-proves each stored lemma
+    on this very circuit first); an invalid seed would make the "proofs"
+    unsound.  With the right seeds, candidate proofs that replay prior
+    work reduce to propagation.
+
+    ``certify`` is an optional *exact* clause-validity oracle (e.g.
+    :class:`repro.inc.certify.ConeCertifier`): given a clause, it
+    returns True (holds for every input — a proof, typically by
+    exhausting a small cone), False (a concrete refutation exists), or
+    None (cannot decide cheaply).  Candidates it decides skip their SAT
+    probes; certified merges are still taught to the engine so later
+    probes benefit.
     """
     start = time.perf_counter()
     options = options or SolverOptions(implicit_learning=True)
     if correlations is None:
         correlations = find_correlations(circuit, seed=seed)
     engine = CSatEngine(circuit, options)
+    for clause in seed_lemmas or ():
+        engine.add_learned_clause(list(clause))
     limits = Limits(max_conflicts=per_candidate_conflicts)
 
     # subst[node] = literal (over original ids) this node is replaced by.
@@ -100,38 +158,76 @@ def sat_sweep(circuit: Circuit,
             node = lit >> 1
         return lit
 
-    # Constants first (cheapest, strongest reductions).
-    for node, likely in correlations.constant_correlations():
-        probe = engine.solve(assumptions=[2 * node + likely], limits=limits)
+    def decide_constant(node: int, likely: int) -> Optional[bool]:
+        # A node is constant ``likely`` iff the unit clause asserting
+        # the *complement* of the observed polarity never fires — i.e.
+        # the literal of value ``likely`` is valid.
+        if certify is not None:
+            verdict = certify([2 * node + (1 - likely)])
+            if verdict is not None:
+                return verdict
+        probe = engine.solve(assumptions=[2 * node + likely],
+                             limits=limits)
         if probe.status == UNSAT:
-            subst[node] = likely  # literal 0 = const FALSE, 1 = const TRUE
-            engine.add_learned_clause([2 * node + (1 - likely)])
-            result.merged_constants += 1
-        elif probe.status == SAT:
-            result.refuted += 1
-        else:
-            result.undecided += 1
+            return True
+        if probe.status == SAT:
+            return False
+        return None
 
-    # Pairs in topological order (the paper's ordering result applies:
-    # shallow cones first make deeper proofs cheap).
-    for n1, n2, anti in correlations.pair_correlations():
-        lo, hi = (n1, n2) if n1 < n2 else (n2, n1)
-        if hi in subst:
-            continue
-        rep = resolve(2 * lo) ^ (1 if anti else 0)
-        if (rep >> 1) == hi:
-            continue
-        verdict = _prove_equal(engine, rep, hi, limits)
-        if verdict is True:
-            subst[hi] = rep
-            # Teach the engine the equivalence for later proofs.
-            engine.add_learned_clause([lit_not(rep), 2 * hi])
-            engine.add_learned_clause([rep, 2 * hi + 1])
-            result.merged_pairs += 1
-        elif verdict is False:
-            result.refuted += 1
-        else:
-            result.undecided += 1
+    def prove_constants() -> None:
+        # Constants are the cheapest, strongest reductions.
+        for node, likely in correlations.constant_correlations():
+            verdict = decide_constant(node, likely)
+            if verdict is True:
+                subst[node] = likely  # literal 0 = FALSE, 1 = TRUE
+                engine.add_learned_clause([2 * node + (1 - likely)])
+                result.merged_constants += 1
+            elif verdict is False:
+                result.refuted += 1
+                result.refuted_constants.append((node, likely))
+            else:
+                result.undecided += 1
+
+    def prove_pairs() -> None:
+        # Pairs in topological order (the paper's ordering result
+        # applies: shallow cones first make deeper proofs cheap).
+        for n1, n2, anti in correlations.pair_correlations():
+            lo, hi = (n1, n2) if n1 < n2 else (n2, n1)
+            if hi in subst:
+                continue
+            rep = resolve(2 * lo) ^ (1 if anti else 0)
+            if (rep >> 1) == hi:
+                continue
+            verdict = None
+            if certify is not None:
+                # rep == hi iff both implications are valid clauses.
+                fwd = certify([lit_not(rep), 2 * hi])
+                if fwd is False:
+                    verdict = False
+                elif fwd is True:
+                    back = certify([rep, 2 * hi + 1])
+                    if back is not None:
+                        verdict = back
+            if verdict is None:
+                verdict = _prove_equal(engine, rep, hi, limits)
+            if verdict is True:
+                subst[hi] = rep
+                # Teach the engine the equivalence for later proofs.
+                engine.add_learned_clause([lit_not(rep), 2 * hi])
+                engine.add_learned_clause([rep, 2 * hi + 1])
+                result.merged_pairs += 1
+            elif verdict is False:
+                result.refuted += 1
+                result.refuted_pairs.append((n1, n2, anti))
+            else:
+                result.undecided += 1
+
+    if constants_first:
+        prove_constants()
+        prove_pairs()
+    else:
+        prove_pairs()
+        prove_constants()
 
     # Rebuild the reduced circuit.
     out = Circuit(circuit.name + ".swept", strash=True)
@@ -157,5 +253,11 @@ def sat_sweep(circuit: Circuit,
     result.circuit = out
     result.gates_after = out.num_ands
     result.substitutions = dict(subst)
+    result.node_map = node_map
+    if export_lemmas:
+        # The engine proved everything on the bare circuit (assumptions
+        # only): its root units and learned binaries are circuit facts.
+        from ..cube.sharing import collect_csat_lemmas
+        result.lemmas = collect_csat_lemmas(engine)
     result.seconds = time.perf_counter() - start
     return result

@@ -1,0 +1,30 @@
+"""Incremental equivalence subsystem: reuse across near-identical queries.
+
+A serving workload (the paper's Verplex setting) is a *stream* of
+circuits where revision N+1 differs from revision N by a handful of
+gates.  The answer cache (:mod:`repro.serve.cache`) only fires on
+whole-circuit fingerprint matches, so a one-gate edit pays full price.
+This package turns those whole-circuit wins into *cone-level* wins:
+
+* :func:`repro.serve.fingerprint.cone_keys` gives every internal signal
+  an isomorphism-invariant digest of its input-side cone;
+* :class:`repro.inc.store.KnowledgeStore` durably persists facts proven
+  about those cones — constants, equivalences, and short bare-circuit
+  lemmas — keyed by cone digest;
+* :func:`repro.inc.replay.incremental_prepass` looks matching cones up
+  for a new query, **re-proves** every candidate fact on the requesting
+  circuit (budgeted, in topological order, so each proof is cheap given
+  the previous merges), merges what survives, and seeds the remaining
+  lemmas into the dispatched solve.
+
+Soundness contract: the store is a *candidate generator*, never an
+oracle.  A fact is only ever acted on after an independent SAT proof on
+the circuit being solved; a refuted fact is evicted and counted
+(``repro_inc_store_rejected_total``).  A corrupt or tampered store can
+therefore slow a query down, but can never change an answer.
+"""
+
+from .store import KnowledgeStore, StoreError  # noqa: F401
+from .replay import PrepassOutcome, absorb_sweep, incremental_prepass  # noqa: F401
+from .certify import ConeCertifier  # noqa: F401
+from .mutate import mutate_circuit  # noqa: F401

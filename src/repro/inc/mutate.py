@@ -1,0 +1,68 @@
+"""Seeded local edits producing *novel* near-duplicate circuits.
+
+The incremental bench and the ``mutated_miter`` serve workload need
+streams of circuits that are structurally new — different whole-circuit
+fingerprint, so the answer cache cannot fire — while sharing most of
+their cones with a base circuit, so the knowledge store can.
+
+:func:`mutate_circuit` injects absorption-law redundancy at seeded
+sites: a signal ``s`` is rewritten as ``s AND (s OR r)`` for a random
+earlier signal ``r``, which is identically ``s`` for *any* ``r``
+(absorption), so the edit is **function-preserving**: the mutant
+computes exactly the original outputs, hardness and expected answers
+included.  Every cone *below* an edit keeps its digest; every cone
+above it changes — exactly the revision-stream shape the subsystem is
+built for, with a differential check available for free (the mutant
+must agree with the base on every input).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..circuit.netlist import Circuit, lit_not
+
+
+def mutate_circuit(circuit: Circuit, seed: int, edits: int = 2,
+                   name: str = "") -> Circuit:
+    """Rebuild ``circuit`` with ``edits`` seeded absorption-law edits.
+
+    Input order/names and output order/names are preserved; the result
+    computes the same function as ``circuit`` (for every edit site
+    ``s``, the replacement ``s AND NOT(NOT s AND NOT r)`` — the AIG
+    spelling of ``s AND (s OR r)`` — equals ``s`` by absorption).
+    Structural hashing is disabled in the rebuilt circuit so the
+    redundant gates survive and genuinely change the netlist.
+    """
+    rng = random.Random(seed)
+    ands = list(circuit.and_nodes())
+    if not ands:
+        return circuit.copy()
+    sites = set(rng.sample(ands, min(edits, len(ands))))
+    out = Circuit(name or (circuit.name + ".mut{}".format(seed)),
+                  strash=False)
+    node_map = [0] * circuit.num_nodes
+    for pi in circuit.inputs:
+        node_map[pi] = out.add_input(circuit.name_of(pi))
+
+    def mapped(lit: int) -> int:
+        return node_map[lit >> 1] ^ (lit & 1)
+
+    for n in circuit.and_nodes():
+        f0, f1 = circuit.fanins(n)
+        lit = out.add_and(mapped(f0), mapped(f1))
+        if n in sites:
+            # r: any already-built signal (input or gate) other than s —
+            # r on the same node would let the constant folder collapse
+            # the redundancy back to a structural no-op.
+            pool = [node_map[pi] for pi in circuit.inputs]
+            pool += [node_map[m] for m in ands if m < n and node_map[m]]
+            pool = [p for p in pool if (p >> 1) != (lit >> 1)]
+            if pool:
+                r = rng.choice(pool) ^ rng.randrange(2)
+                or_lit = lit_not(out.add_and(lit_not(lit), lit_not(r)))
+                lit = out.add_and(lit, or_lit)
+        node_map[n] = lit
+    for o, oname in zip(circuit.outputs, circuit.output_names):
+        out.add_output(mapped(o), oname)
+    return out

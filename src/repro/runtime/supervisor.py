@@ -69,6 +69,10 @@ class WorkerOutcome:
     lemmas: Optional[list] = None
     #: Worker's self-reported peak RSS in MB (None when unavailable).
     maxrss_mb: Optional[float] = None
+    #: The worker's raw result payload (primitives only).  Job kinds
+    #: whose product is more than a SolverResult — a sweep's reduced
+    #: circuit and fact export — read their extra keys from here.
+    payload: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -187,7 +191,8 @@ class WorkerHandle:
         return self._finish(WorkerOutcome(name, result=result,
                                           seconds=self.elapsed,
                                           lemmas=payload.get("lemmas"),
-                                          maxrss_mb=payload.get("maxrss_mb")),
+                                          maxrss_mb=payload.get("maxrss_mb"),
+                                          payload=payload),
                             tracer)
 
     def _classify_exit(self) -> WorkerOutcome:

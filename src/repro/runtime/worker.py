@@ -32,7 +32,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..circuit.netlist import Circuit
 from ..errors import CRASHED, MEMOUT
 from ..obs.trace import Tracer
-from ..result import Limits, SAT, SolverResult, UNSAT
+from ..result import Limits, SAT, SolverResult, UNKNOWN, UNSAT
 from .faults import POST_FAULTS, PRE_FAULTS
 
 #: Engine kinds a worker can run.
@@ -41,6 +41,13 @@ KIND_CNF = "cnf"
 KIND_BRUTE = "brute"
 KIND_BDD = "bdd"
 WORKER_KINDS = (KIND_CSAT, KIND_CNF, KIND_BRUTE, KIND_BDD)
+
+#: Not a solver: a SAT-sweep job reduces the circuit and exports the
+#: proven facts.  It runs under the same isolation (a sweep is CDCL
+#: underneath and can be bombed/hung like any solve) but its payload
+#: carries a reduced circuit instead of an answer — status is always
+#: UNKNOWN, so nothing downstream can mistake it for one.
+KIND_SWEEP = "sweep"
 
 
 @dataclass
@@ -341,6 +348,37 @@ def _solve_job(job: WorkerJob, tracer=None, salvage=None) -> dict:
         if job.export_lemmas:
             from ..cube.sharing import collect_cnf_lemmas
             lemmas = collect_cnf_lemmas(solver, circuit.num_nodes)
+    elif job.kind == KIND_SWEEP:
+        from ..circuit.bench_io import write_bench
+        from ..core.sweep import sat_sweep
+        from ..csat.options import preset
+        if job.options is not None:
+            options = (job.options.replace(**job.overrides)
+                       if job.overrides else job.options)
+        else:
+            options = preset(job.preset_name, **job.overrides)
+        sweep = sat_sweep(circuit, options=options, export_lemmas=True,
+                          seed_lemmas=job.seed_lemmas)
+        # Primitives only: the reduced circuit crosses the pipe as bench
+        # text, the substitutions as a plain dict, so the parent can
+        # absorb the facts into its knowledge store without trusting any
+        # worker-side object.
+        return {
+            "engine": job.name,
+            "status": UNKNOWN,
+            "model": None,
+            "stats": {},
+            "time_seconds": sweep.seconds,
+            "sim_seconds": 0.0,
+            "interrupted": False,
+            "proof": None,
+            "objectives": [],
+            "core": None,
+            "lemmas": sweep.lemmas,
+            "sweep": sweep.as_dict(),
+            "sweep_bench": write_bench(sweep.circuit),
+            "sweep_substitutions": dict(sweep.substitutions),
+        }
     elif job.kind == KIND_BRUTE:
         from ..verify.oracle import _brute_force
         result = _brute_force(circuit, objectives)

@@ -211,7 +211,8 @@ class ServeClient:
                wait: float = 0.0,
                idempotency_key: Optional[str] = None,
                retries: Optional[int] = None,
-               deadline: Optional[float] = None) -> Dict[str, Any]:
+               deadline: Optional[float] = None,
+               incremental: bool = True) -> Dict[str, Any]:
         """Submit one instance; returns the job snapshot.
 
         With ``wait > 0`` the server blocks up to that many seconds and
@@ -247,6 +248,8 @@ class ServeClient:
             body["wait"] = wait
         if idempotency_key:
             body["idempotency_key"] = idempotency_key
+        if not incremental:
+            body["incremental"] = False
         timeout = (wait + self.timeout) if wait else self.timeout
         return self._request("POST", "/submit", body=body, timeout=timeout,
                              retries=retries,

@@ -44,7 +44,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..circuit.netlist import Circuit, PI
-from ..circuit.topo import restrash
+from ..circuit.topo import extract_cone, restrash
 
 _MASK = (1 << 64) - 1
 _PI_SEED = 0x9E3779B97F4A7C15
@@ -261,6 +261,60 @@ def fingerprint(circuit: Circuit) -> Fingerprint:
                                     if n and normal.is_and(n)),
                        num_outputs=len(set(normal.outputs)),
                        input_nodes=input_nodes)
+
+
+def cone_keys(circuit: Circuit, min_depth: int = 1) -> Dict[int, str]:
+    """Per-AND-node *input-cone* digests, one bulk O(gates) pass.
+
+    Every primary input is seeded with its **position** in the circuit's
+    input list (not the shared :data:`_PI_SEED`), so a node's forward
+    hash becomes a digest of its entire input-side cone *relative to the
+    PI positions it reads* — invariant under wire renaming, gate creation
+    order, and AND commutation, but deliberately **not** under PI
+    permutation (one pass covers every node; the permutation-invariant
+    key is :func:`cone_fingerprint`, which costs a restrash per cone).
+
+    Keys are 64-bit mix hashes, not cryptographic digests: a collision
+    can propose a wrong candidate but never a wrong answer, because the
+    incremental store re-proves every replayed fact on the requesting
+    circuit (see :mod:`repro.inc.store`).  ``min_depth`` drops shallow
+    cones (depth 1 = an AND of PIs) whose facts are cheaper to re-derive
+    than to store.
+    """
+    fwd: Dict[int, int] = {0: _mix(0)}
+    for pos, pi in enumerate(circuit.inputs):
+        fwd[pi] = _mix(_PI_SEED, pos)
+    ands = list(circuit.and_nodes())
+    _hash_ands(circuit, ands, fwd)
+    depth: Dict[int, int] = {}
+    keys: Dict[int, str] = {}
+    for n in ands:
+        f0, f1 = circuit.fanins(n)
+        d = 1 + max(depth.get(f0 >> 1, 0), depth.get(f1 >> 1, 0))
+        depth[n] = d
+        if d >= min_depth:
+            keys[n] = "{:016x}".format(fwd[n])
+    return keys
+
+
+def cone_fingerprint(circuit: Circuit, root_lit: int) -> Fingerprint:
+    """Exact canonical fingerprint of one internal signal's output cone.
+
+    The cone rooted at ``root_lit`` is extracted as a standalone
+    sub-circuit (cone PIs become its primary inputs) and fingerprinted
+    with the full canonical pipeline, so the digest is invariant under
+    input permutation as well as renaming/commutation/gate order.  The
+    returned ``input_nodes`` are mapped back to **original-circuit** node
+    ids in canonical order — the piece that carries a store hit back
+    through the input permutation: position ``i`` of two matching cones'
+    ``input_nodes`` name corresponding signals in their host circuits.
+    """
+    sub, node_map = extract_cone(circuit, [root_lit],
+                                 name=circuit.name + ".cone")
+    original_of = {lit >> 1: orig for orig, lit in node_map.items()}
+    fp = fingerprint(sub)
+    fp.input_nodes = [original_of[pi] for pi in fp.input_nodes]
+    return fp
 
 
 def model_to_bits(fp: Fingerprint, model: Optional[Dict[int, bool]]

@@ -110,17 +110,27 @@ def _hard_unsat(label: str, width: int, mask_seed: int) -> Circuit:
 
 def build_workload(seed: int = 0, count: int = 40,
                    duplicate_fraction: float = 0.4,
-                   max_gates: int = 200) -> List[WorkItem]:
+                   max_gates: int = 200,
+                   mutated_fraction: float = 0.0) -> List[WorkItem]:
     """Deterministic mixed traffic: SAT DAGs, UNSAT miters, renamed dups.
 
     The UNSAT instances are multiplier miters — small to parse and
     fingerprint but expensive to search — so a fingerprint hit saves real
     work; the SAT random DAGs keep the cheap-and-plentiful side of the
     traffic honest.
+
+    ``mutated_fraction`` reserves that share of the stream for
+    **mutated miters**: function-preserving edits of one shared base
+    miter (:func:`repro.inc.mutate.mutate_circuit`).  Unlike renamed
+    duplicates they are structurally *new* circuits — every fingerprint
+    misses — so their latency story belongs to the knowledge store's
+    incremental pre-pass, not the answer cache.
     """
     if count < 1:
         raise ValueError("count must be >= 1")
     rng = random.Random(seed)
+    mutated_count = int(round(count * max(0.0, mutated_fraction)))
+    count = max(1, count - mutated_count)
     base_count = max(1, int(round(count * (1.0 - duplicate_fraction))))
     base: List[WorkItem] = []
     for i in range(base_count):
@@ -160,13 +170,40 @@ def build_workload(seed: int = 0, count: int = 40,
                               text=write_bench(twin), expect=origin.expect,
                               dup_of=origin.label))
         dup_index += 1
+    if mutated_count:
+        items.extend(mutated_miter_items(
+            seed=rng.randrange(1 << 30), count=mutated_count))
     rng.shuffle(items)
+    return items
+
+
+def mutated_miter_items(seed: int = 0, count: int = 8, width: int = 4,
+                        edits: int = 2) -> List[WorkItem]:
+    """A stream of function-preserving revisions of one base miter.
+
+    Each item is UNSAT by construction (the edits rewrite ``s`` as
+    ``s AND (s OR r)`` — an absorption identity — so the mitered
+    functions never change) yet structurally novel: a fresh fingerprint,
+    an answer-cache miss, and exactly the regime the knowledge store's
+    cone-digest replay is accountable for.
+    """
+    from ..bench.instances import array_multiplier, csa_multiplier
+    from ..inc.mutate import mutate_circuit
+    base = miter(array_multiplier(width), csa_multiplier(width))
+    rng = random.Random(seed)
+    items = []
+    for i in range(max(0, count)):
+        mutant = mutate_circuit(base, seed=rng.randrange(1 << 30),
+                                edits=edits, name="mut{}".format(i))
+        items.append(WorkItem(label="mut{}".format(i),
+                              text=write_bench(mutant), expect=UNSAT))
     return items
 
 
 #: The workload classes an SLO is tracked against, keyed by the label
 #: prefixes :func:`build_workload` assigns.
-WORKLOAD_CLASSES = ("unsat_miter", "cnf_phase", "random_dag", "duplicate")
+WORKLOAD_CLASSES = ("unsat_miter", "cnf_phase", "random_dag",
+                    "duplicate", "mutated_miter")
 
 
 def workload_class(label: str, dup_of: Optional[str] = None) -> str:
@@ -178,6 +215,8 @@ def workload_class(label: str, dup_of: Optional[str] = None) -> str:
     """
     if dup_of is not None or "#dup" in label:
         return "duplicate"
+    if label.startswith("mut"):
+        return "mutated_miter"
     if label.startswith("unsat"):
         return "unsat_miter"
     if label.startswith("cnf"):

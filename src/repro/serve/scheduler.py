@@ -33,7 +33,8 @@ from ..errors import SolverError
 from ..result import Limits, SAT, UNKNOWN, UNSAT
 from ..runtime.supervisor import (CERTIFY_LEVELS, CERTIFY_SAT,
                                   run_supervised)
-from ..runtime.worker import WORKER_KINDS, WorkerJob
+from ..runtime.worker import (KIND_CNF, KIND_CSAT, KIND_SWEEP,
+                              WORKER_KINDS, WorkerJob)
 from ..durable.journal import (KIND_ADMITTED, KIND_CANCELLED, KIND_FINISHED,
                                KIND_STARTED, answer_digest, replay_journal)
 from ..obs.context import child_context, context_of
@@ -44,9 +45,10 @@ from .fingerprint import Fingerprint, bits_to_model, fingerprint, \
     model_to_bits
 
 #: Engines a request may name: the four isolated worker kinds plus
-#: cube-and-conquer behind the same endpoint.
+#: cube-and-conquer and SAT-sweeping behind the same endpoint.
 ENGINE_CUBE = "cube"
-SERVE_ENGINES = tuple(WORKER_KINDS) + (ENGINE_CUBE,)
+ENGINE_SWEEP = KIND_SWEEP
+SERVE_ENGINES = tuple(WORKER_KINDS) + (ENGINE_CUBE, ENGINE_SWEEP)
 
 #: Job states.
 QUEUED = "QUEUED"
@@ -116,6 +118,11 @@ class JobRequest:
     #: crashed server can re-admit the job on boot.  Built from the
     #: circuit when absent.
     source: Optional[Dict[str, Any]] = None
+    #: Allow the incremental pre-pass (knowledge-store replay) for this
+    #: job.  Answers are identical either way — the pre-pass re-proves
+    #: everything it uses — so this is a performance escape hatch, not a
+    #: correctness knob, and it is not part of the cache key.
+    incremental: bool = True
 
 
 class _JobTracer(Tracer):
@@ -206,7 +213,9 @@ class SolveScheduler:
                  certify: str = CERTIFY_SAT,
                  max_wall_seconds: Optional[float] = None,
                  tracer=None,
-                 journal=None):
+                 journal=None,
+                 store=None,
+                 incremental: bool = True):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_queue < 1:
@@ -222,6 +231,13 @@ class SolveScheduler:
         self.max_wall_seconds = max_wall_seconds
         self.tracer = tracer
         self.journal = journal           # durable.journal.Journal or None
+        #: Knowledge store (repro.inc.store.KnowledgeStore) shared by
+        #: sweep jobs (which fill it) and solve jobs (whose pre-pass
+        #: replays it).  The scheduler is its only in-process user, so
+        #: one coarse lock around pre-pass and absorption suffices.
+        self.store = store
+        self.incremental = incremental
+        self._store_lock = threading.Lock()
         self._lock = threading.Lock()
         self._idempotency: Dict[str, Job] = {}
         self._work = threading.Condition(self._lock)
@@ -292,6 +308,7 @@ class SolveScheduler:
                 "engine": request.engine, "preset": request.preset,
                 "priority": request.priority, "label": request.label,
                 "cube_workers": request.cube_workers,
+                "incremental": request.incremental,
                 "limits": limits, "source": source}
 
     def _journal_finish(self, job: Job, payload: Dict[str, Any],
@@ -556,11 +573,46 @@ class SolveScheduler:
     def _solve(self, job: Job, tracer) -> Dict[str, Any]:
         """Run one admitted job to a result payload (worker thread)."""
         request = job.request
+        if request.engine == ENGINE_SWEEP:
+            return self._run_sweep(job, tracer)
+        prepass = self._prepass(job, tracer)
+        circuit = prepass.circuit if prepass is not None \
+            else request.circuit
+        seeds = list(prepass.seed_lemmas) if prepass is not None else None
+        payload = self._dispatch(job, tracer, circuit, seeds)
+        if prepass is None or payload["status"] != SAT:
+            # UNSAT on the pre-passed circuit implies UNSAT on the
+            # original: every merge the pre-pass applied was re-proved
+            # on this very circuit (see repro.inc.replay).
+            return payload
+        # A SAT model over the reduced circuit maps back input-for-input
+        # (sweeps preserve input order); re-certify against the ORIGINAL
+        # circuit before anyone can observe it.  Certification failure
+        # means a bug in the incremental layer — degrade honestly by
+        # re-solving without it.
+        mapped = prepass.map_model(payload.get("_model"))
+        from ..verify.certify import certify_sat_model
+        certificate = certify_sat_model(request.circuit, mapped,
+                                        list(request.circuit.outputs))
+        if certificate.ok:
+            payload["_model"] = mapped
+            return payload
+        job.add_event("inc_prepass_discarded", detail=certificate.detail)
+        if self.tracer is not None:
+            self.tracer.emit("inc_prepass_discarded", job=job.id,
+                             detail=certificate.detail)
+        return self._dispatch(job, tracer, request.circuit, None)
+
+    def _dispatch(self, job: Job, tracer, circuit: Circuit,
+                  seed_lemmas) -> Dict[str, Any]:
+        """Run the requested engine on ``circuit`` (the original or the
+        pre-passed reduction) and return the raw payload."""
+        request = job.request
         wall = self._wall_seconds(request.limits)
         if request.engine == ENGINE_CUBE:
             from ..cube import solve_cubes
             report = solve_cubes(
-                request.circuit, workers=request.cube_workers,
+                circuit, workers=request.cube_workers,
                 budget=wall, mem_limit_mb=self.mem_limit_mb,
                 grace_seconds=self.grace_seconds, certify=self.certify,
                 trace=tracer)
@@ -571,12 +623,15 @@ class SolveScheduler:
             payload["_model"] = result.model
             return payload
         worker_job = WorkerJob(
-            circuit=request.circuit,
+            circuit=circuit,
             name="{}:{}".format(request.engine, request.preset)
                  if request.engine == "csat" else request.engine,
             kind=request.engine, preset_name=request.preset,
             limits=request.limits, mem_limit_mb=self.mem_limit_mb,
-            fault=request.fault)
+            fault=request.fault,
+            seed_lemmas=seed_lemmas if request.engine in (KIND_CSAT,
+                                                          KIND_CNF)
+            else None)
         outcome = run_supervised(worker_job, wall_seconds=wall,
                                  grace_seconds=self.grace_seconds,
                                  certify=self.certify, tracer=tracer)
@@ -590,6 +645,85 @@ class SolveScheduler:
                 "engine": outcome.engine, "cached": False,
                 "time_seconds": outcome.seconds,
                 "failures": [outcome.failure.as_dict()]}
+
+    # ------------------------------------------------------------------
+    # Incremental pre-pass and sweep jobs (repro.inc)
+    # ------------------------------------------------------------------
+
+    def _prepass(self, job: Job, tracer):
+        """Replay the knowledge store into this query, when eligible.
+
+        Returns a :class:`repro.inc.replay.PrepassOutcome` whose merges
+        and lemma seeds were all re-proved on the requesting circuit, or
+        None when the pre-pass is off, inapplicable, or found nothing.
+        Never raises: an incremental-layer failure must degrade to a
+        plain solve, not take the job down.
+        """
+        request = job.request
+        if (self.store is None or not self.incremental
+                or not request.incremental or request.fault is not None
+                or request.engine not in (KIND_CSAT, KIND_CNF,
+                                          ENGINE_CUBE)):
+            return None
+        try:
+            from ..inc.replay import incremental_prepass
+            with self._store_lock:
+                outcome = incremental_prepass(request.circuit, self.store)
+        except Exception as exc:  # noqa: BLE001 — advisory layer only
+            job.add_event("inc_prepass_error",
+                          detail="{}: {}".format(type(exc).__name__, exc))
+            return None
+        job.add_event("inc_prepass", **outcome.as_dict())
+        if self.tracer is not None:
+            self.tracer.emit("inc_prepass", job=job.id,
+                             **outcome.as_dict())
+        return outcome if outcome.useful else None
+
+    def _run_sweep(self, job: Job, tracer) -> Dict[str, Any]:
+        """Sweep-as-a-service: reduce the circuit on an isolated worker
+        and absorb the proven facts into the knowledge store."""
+        request = job.request
+        wall = self._wall_seconds(request.limits)
+        worker_job = WorkerJob(
+            circuit=request.circuit, name=ENGINE_SWEEP, kind=KIND_SWEEP,
+            preset_name=request.preset, limits=request.limits,
+            mem_limit_mb=self.mem_limit_mb, fault=request.fault)
+        outcome = run_supervised(worker_job, wall_seconds=wall,
+                                 grace_seconds=self.grace_seconds,
+                                 certify=self.certify, tracer=tracer)
+        if not outcome.ok:
+            return {"status": UNKNOWN, "model_size": 0,
+                    "engine": outcome.engine, "cached": False,
+                    "time_seconds": outcome.seconds,
+                    "failures": [outcome.failure.as_dict()]}
+        payload = dict(outcome.payload or {})
+        for noise in ("model", "proof", "objectives", "core"):
+            payload.pop(noise, None)
+        payload["cached"] = False
+        if self.store is not None:
+            try:
+                from ..circuit.source import read_circuit_text
+                from ..core.sweep import SweepResult
+                from ..inc.replay import absorb_sweep
+                reduced = read_circuit_text(
+                    str(payload.get("sweep_bench") or ""),
+                    name=request.label + ".swept", fmt="bench")
+                result = SweepResult(
+                    circuit=reduced,
+                    substitutions=dict(
+                        payload.get("sweep_substitutions") or {}),
+                    lemmas=[list(c) for c in payload.get("lemmas") or []])
+                with self._store_lock:
+                    payload["absorbed"] = absorb_sweep(
+                        self.store, request.circuit, result)
+            except Exception as exc:  # noqa: BLE001 — keep the reduction
+                payload["absorbed"] = {
+                    "error": "{}: {}".format(type(exc).__name__, exc)}
+        # The reduced circuit is the product; lemmas already live in the
+        # store and would bloat every /result poll.
+        payload.pop("lemmas", None)
+        payload.pop("sweep_substitutions", None)
+        return payload
 
     # ------------------------------------------------------------------
     # Dedup resolution

@@ -10,7 +10,9 @@ request/response) so any EDA tool with an HTTP client can drive it:
 ``POST /submit``
     Body: ``{"circuit": <text>}`` or ``{"instance": <name>}`` plus
     optional ``format`` (bench/aiger/dimacs; sniffed otherwise),
-    ``engine`` (csat/cnf/brute/bdd/cube), ``preset``, ``limits``
+    ``engine`` (csat/cnf/brute/bdd/cube/sweep), ``preset``, ``limits``,
+    ``incremental`` (false opts this job out of the knowledge-store
+    pre-pass),
     (``{"max_seconds": ..., "max_conflicts": ..., "max_decisions": ...}``),
     ``priority``, ``label``, ``wait`` (seconds to block for the result),
     ``cube_workers`` and ``fault`` (test-only fault injection).
@@ -90,7 +92,9 @@ class ReproServer:
                  certify: str = "sat",
                  max_wall_seconds: Optional[float] = None,
                  tracer=None,
-                 journal_path: Optional[str] = None):
+                 journal_path: Optional[str] = None,
+                 store_path: Optional[str] = None,
+                 incremental: bool = True):
         # A serving node always measures itself: flip the process-wide
         # registry on so every layer under the scheduler records too.
         self.registry = enable_metrics()
@@ -110,11 +114,18 @@ class ReproServer:
                 # Boot compaction: drop superseded records and any torn
                 # trailing line the crash left behind.
                 self.journal.compact(state.live_records())
+        # Knowledge store: cone-keyed equivalences/constants/lemmas
+        # that sweep jobs fill and solve jobs replay (repro.inc).
+        self.store = None
+        if store_path:
+            from ..inc.store import KnowledgeStore
+            self.store = KnowledgeStore(store_path)
         self.scheduler = SolveScheduler(
             workers=workers, cache=self.cache, max_queue=max_queue,
             mem_limit_mb=mem_limit_mb, grace_seconds=grace_seconds,
             certify=certify, max_wall_seconds=max_wall_seconds,
-            tracer=tracer, journal=self.journal)
+            tracer=tracer, journal=self.journal,
+            store=self.store, incremental=incremental)
         server = self
 
         class Handler(_ServeHandler):
@@ -172,7 +183,8 @@ class ReproServer:
                 limits=limits, priority=int(record.get("priority") or 0),
                 label=label,
                 cube_workers=int(record.get("cube_workers") or 2),
-                fp=fp, idempotency_key=record.get("key"), source=source)
+                fp=fp, idempotency_key=record.get("key"), source=source,
+                incremental=bool(record.get("incremental", True)))
         except (TypeError, ValueError):
             return None
 
@@ -348,6 +360,8 @@ class _ServeHandler(BaseHTTPRequestHandler):
             if self.repro_server.journal is not None:
                 payload["journal"] = self.repro_server.journal.path
                 payload["recovery"] = self.repro_server.recovery
+            if self.repro_server.store is not None:
+                payload["store"] = self.repro_server.store.stats()
             self._send_json(200, payload)
             return
         if path == "/metrics":
@@ -461,7 +475,8 @@ class _ServeHandler(BaseHTTPRequestHandler):
             preset=str(body.get("preset") or "explicit"), limits=limits,
             priority=priority, label=label,
             fault=body.get("fault"), cube_workers=cube_workers, fp=fp,
-            idempotency_key=idempotency_key, source=source)
+            idempotency_key=idempotency_key, source=source,
+            incremental=bool(body.get("incremental", True)))
         try:
             job = self.repro_server.scheduler.submit(request)
         except AdmissionError as exc:
